@@ -1,0 +1,103 @@
+// Comparison harness: LITEWORP vs temporal packet leashes (Hu et al.) —
+// the quantitative version of the paper's Section 2 related-work argument.
+//
+// For each attack mode, three defenses run on the same field and seeds:
+// none, leash-only, LITEWORP-only. Columns are the wormhole's footprint.
+//
+//   ./bench_comparison_leash [--runs=2] [--duration=400] [--nodes=60]
+//                            [--seed=900] [--perfect_clocks=false]
+#include <cstdio>
+#include <string>
+
+#include "attack/modes.h"
+#include "scenario/runner.h"
+#include "util/config.h"
+
+namespace {
+
+struct Cell {
+  double wormhole_routes = 0.0;
+  double drops = 0.0;
+  double isolated = 0.0;
+};
+
+Cell run_cell(lw::attack::WormholeMode mode, int malicious, int defense,
+              int runs, double duration, std::size_t nodes,
+              std::uint64_t seed, bool perfect_clocks) {
+  Cell cell;
+  for (int run = 0; run < runs; ++run) {
+    auto config = lw::scenario::ExperimentConfig::table2_defaults();
+    config.node_count = nodes;
+    config.seed = seed + static_cast<std::uint64_t>(run);
+    config.duration = duration;
+    config.malicious_count = static_cast<std::size_t>(malicious);
+    config.attack.mode = mode;
+    config.liteworp.enabled = defense == 2;
+    config.leash.enabled = defense == 1;
+    if (perfect_clocks) {
+      config.leash.sync_error = 0.0;
+      config.leash.processing_slack = 0.0;
+    }
+    config.finalize();
+    auto r = lw::scenario::run_experiment(config);
+    cell.wormhole_routes += static_cast<double>(r.wormhole_routes);
+    cell.drops += static_cast<double>(r.data_dropped_malicious);
+    cell.isolated += r.malicious_count
+                         ? static_cast<double>(r.malicious_isolated) /
+                               static_cast<double>(r.malicious_count)
+                         : 0.0;
+  }
+  cell.wormhole_routes /= runs;
+  cell.drops /= runs;
+  cell.isolated /= runs;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lw::Config args = lw::Config::from_args(argc, argv);
+  const int runs = args.get_int("runs", 2);
+  const double duration = args.get_double("duration", 400.0);
+  const std::size_t nodes =
+      static_cast<std::size_t>(args.get_int("nodes", 60));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 900));
+  const bool perfect_clocks = args.get_bool("perfect_clocks", false);
+
+  std::puts("== LITEWORP vs temporal packet leashes (Section 2 argument) ==");
+  std::printf("%zu nodes, %.0f s, %d run(s); leash clock sync: %s\n\n",
+              nodes, duration, runs,
+              perfect_clocks ? "perfect" : "1 us (TIK-era)");
+  std::printf("%-24s | %-26s | %-26s | %s\n", "",
+              "wormhole routes", "wormhole data drops", "isolated frac");
+  std::printf("%-24s | %-8s %-8s %-8s | %-8s %-8s %-8s | %s\n", "mode",
+              "none", "leash", "LITEWORP", "none", "leash", "LITEWORP",
+              "LITEWORP");
+
+  for (const auto& row : lw::attack::attack_mode_table()) {
+    Cell none = run_cell(row.mode, row.min_compromised_nodes, 0, runs,
+                         duration, nodes, seed, perfect_clocks);
+    Cell leash = run_cell(row.mode, row.min_compromised_nodes, 1, runs,
+                          duration, nodes, seed, perfect_clocks);
+    Cell lworp = run_cell(row.mode, row.min_compromised_nodes, 2, runs,
+                          duration, nodes, seed, perfect_clocks);
+    std::printf("%-24s | %-8.1f %-8.1f %-8.1f | %-8.0f %-8.0f %-8.0f | %.2f\n",
+                std::string(row.name).c_str(), none.wormhole_routes,
+                leash.wormhole_routes, lworp.wormhole_routes, none.drops,
+                leash.drops, lworp.drops, lworp.isolated);
+  }
+
+  std::puts(
+      "\nexpected shape (the paper's related-work argument, measured):\n"
+      "  - packet relay: both defenses stop the forged link (stale stamp\n"
+      "    vs neighbor-list check);\n"
+      "  - high power: LITEWORP rejects via neighbor lists; the leash\n"
+      "    needs perfect clocks to see sub-microsecond extra flight\n"
+      "    (rerun with --perfect_clocks=true);\n"
+      "  - encapsulation / out-of-band INSIDER tunnels: the leash is\n"
+      "    blind (fresh truthful stamps at both tunnel ends); LITEWORP\n"
+      "    detects AND isolates;\n"
+      "  - protocol deviation: neither helps;\n"
+      "  - only LITEWORP ever removes the attacker (isolated column).");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Simulated companion to Figure 6(a): detection probability and false
+// alarms measured in the full simulator across network densities, next to
+// the closed-form curve evaluated at the MEASURED collision rate.
+//
+// The paper's Section 6 claims "100% detection of the wormholes for a wide
+// range of network densities" — this bench is that claim, swept.
+//
+//   ./bench_density_sweep_sim [--runs=3] [--duration=500] [--nodes=60]
+//                             [--nb_min=5] [--nb_max=14] [--seed=800]
+#include <cstdio>
+
+#include "analysis/coverage.h"
+#include "scenario/runner.h"
+#include "util/config.h"
+
+int main(int argc, char** argv) {
+  lw::Config args = lw::Config::from_args(argc, argv);
+  const int runs = args.get_int("runs", 3);
+  const double duration = args.get_double("duration", 800.0);
+  const std::size_t nodes =
+      static_cast<std::size_t>(args.get_int("nodes", 60));
+  const int nb_min = args.get_int("nb_min", 5);
+  const int nb_max = args.get_int("nb_max", 14);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 800));
+
+  std::puts("== Simulated detection across densities (Fig 6(a) companion, "
+            "Sec 6 claim) ==");
+  std::printf("%zu nodes, M = 2 out-of-band colluders, %.0f s, %d run(s) "
+              "per density\n\n",
+              nodes, duration, runs);
+  std::printf("%-6s %-10s %-16s %-16s %-10s %s\n", "N_B", "measured",
+              "sim P(detect)", "ana P(detect)", "false", "mean isolation");
+  std::printf("%-6s %-10s %-16s %-16s %-10s %s\n", "", "collide",
+              "(+/- sem)", "@measured P_C", "isolations", "latency [s]");
+
+  for (int nb = nb_min; nb <= nb_max; nb += 3) {
+    auto config = lw::scenario::ExperimentConfig::table2_defaults();
+    config.node_count = nodes;
+    config.target_neighbors = static_cast<double>(nb);
+    config.duration = duration;
+    config.malicious_count = 2;
+    // gamma must stay below the expected guard count (coverage analysis).
+    config.liteworp.detection_confidence =
+        nb <= 6 ? 2 : lw::scenario::ExperimentConfig::table2_defaults()
+                          .liteworp.detection_confidence;
+    config.finalize();
+
+    // Measure the channel once to evaluate the analytic curve at the
+    // simulator's true collision probability.
+    config.seed = seed;
+    auto probe = lw::scenario::run_experiment(config);
+    const double pc =
+        static_cast<double>(probe.frames_collided) /
+        static_cast<double>(probe.frames_collided + probe.frames_delivered);
+
+    auto agg = lw::scenario::average_runs(config, runs, seed);
+
+    lw::analysis::CoverageParams ana;
+    ana.detection_confidence = config.liteworp.detection_confidence;
+    // Evaluate at the measured collision probability directly.
+    ana.pc_reference = pc;
+    ana.pc_reference_neighbors = static_cast<double>(nb);
+    const double analytic = lw::analysis::detection_probability(
+        ana, static_cast<double>(nb));
+
+    std::printf("%-6d %-10.3f %.3f +/- %-6.3f %-16.3f %-10.1f ", nb, pc,
+                agg.detection_probability, agg.detection_probability_sem,
+                analytic, agg.false_isolations);
+    if (agg.mean_isolation_latency) {
+      std::printf("%.1f\n", *agg.mean_isolation_latency);
+    } else {
+      std::printf("--\n");
+    }
+  }
+
+  std::puts("\nexpected shape: simulated detection ~1.0 across the evaluated\n"
+            "densities (the Section 6 claim), consistent with the analytic\n"
+            "probability at the measured collision rate; zero false\n"
+            "isolations throughout.");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 10: detection probability (simulated and analytical) and
+// isolation latency vs the detection confidence index gamma.
+//
+// Expected shape (paper, N_B = 15, M = 2): detection probability decreases
+// as gamma grows (more guards must independently alert through collisions)
+// while isolation latency increases but stays small (tens of seconds).
+//
+// Operationalization note: with unbounded observation time every guard of
+// a relentlessly-cheating wormhole eventually alerts (re-alerting makes
+// isolation a when, not an if), so "detection probability" is measured
+// against a deadline — default 60 s after attack start, twice the paper's
+// quoted worst-case latency — mirroring the paper's fixed-horizon runs.
+//
+//   ./bench_fig10_gamma_sweep [--runs=3] [--duration=600] [--nodes=100]
+//                             [--nb=15] [--gamma_min=2] [--gamma_max=8]
+//                             [--deadline=60] [--seed=500]
+#include <cstdio>
+#include <vector>
+
+#include "analysis/coverage.h"
+#include "scenario/runner.h"
+#include "util/config.h"
+
+int main(int argc, char** argv) {
+  lw::Config args = lw::Config::from_args(argc, argv);
+  const int runs = args.get_int("runs", 4);
+  const double duration = args.get_double("duration", 800.0);
+  const std::size_t nodes =
+      static_cast<std::size_t>(args.get_int("nodes", 100));
+  const double nb = args.get_double("nb", 15.0);
+  const int gamma_min = args.get_int("gamma_min", 2);
+  const int gamma_max = args.get_int("gamma_max", 8);
+  const double deadline = args.get_double("deadline", 60.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 500));
+
+  std::puts("== Figure 10: detection probability and isolation latency vs "
+            "gamma ==");
+  std::printf("%zu nodes at N_B = %.0f, M = 2, %d run(s) per point, "
+              "deadline %.0f s\n\n",
+              nodes, nb, runs, deadline);
+
+  lw::analysis::CoverageParams analytic;
+  auto analytic_curve =
+      lw::analysis::detection_vs_gamma(analytic, nb, gamma_min, gamma_max);
+
+  std::printf("%-7s %-18s %-16s %s\n", "gamma", "sim P(det<deadline)",
+              "ana P(detection)", "mean isolation latency [s]");
+  for (int gamma = gamma_min; gamma <= gamma_max; ++gamma) {
+    int within_deadline = 0;
+    double latency_sum = 0.0;
+    int latency_runs = 0;
+    for (int run = 0; run < runs; ++run) {
+      auto config = lw::scenario::ExperimentConfig::table2_defaults();
+      config.node_count = nodes;
+      config.target_neighbors = nb;
+      config.duration = duration;
+      config.malicious_count = 2;
+      config.liteworp.detection_confidence = gamma;
+      // Pin the fabricated link so the alerting-guard pool matches the
+      // analysis' per-link geometry (g ~= 0.51 N_B); the default
+      // randomized lie enlarges the pool and keeps detection at 1.0 for
+      // every gamma.
+      config.attack.fixed_fake_prev = true;
+      // Disable the corroborated-threshold extension: the paper's guards
+      // never lower their bar on hearsay, and with it enabled the
+      // detection cascade erases the gamma sensitivity this figure is
+      // about (see EXPERIMENTS.md for the with-extension numbers).
+      config.liteworp.corroborated_threshold =
+          config.liteworp.malc_threshold;
+      config.seed = seed + static_cast<std::uint64_t>(run);
+      config.finalize();
+      auto result = lw::scenario::run_experiment(config);
+      if (result.isolation_latency) {
+        latency_sum += *result.isolation_latency;
+        ++latency_runs;
+        if (*result.isolation_latency <= deadline) ++within_deadline;
+      }
+    }
+    const double ana =
+        analytic_curve[static_cast<std::size_t>(gamma - gamma_min)].y;
+    if (latency_runs > 0) {
+      std::printf("%-7d %-18.3f %-16.3f %.1f\n", gamma,
+                  static_cast<double>(within_deadline) / runs, ana,
+                  latency_sum / latency_runs);
+    } else {
+      std::printf("%-7d %-18.3f %-16.3f (never completely isolated)\n",
+                  gamma, 0.0, ana);
+    }
+  }
+
+  std::puts("\nexpected shape: detection probability decreases in gamma and\n"
+            "tracks the analytic curve; isolation latency grows\n"
+            "monotonically (paper: < 30 s — our re-alerting converges slow\n"
+            "tails the paper's one-shot alerts abandoned, which stretches\n"
+            "the high-gamma means). Rerun without the deadline flag to see\n"
+            "that, given time, every gamma eventually isolates.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6(a): probability of wormhole detection vs number of neighbors.
+//
+// Analytical model of Section 5.1 with the figure's parameters: kappa = 7
+// malicious events per window, a guard alerts after catching k = 5 of
+// them, gamma = 3 guards must alert, P_C = 0.05 at N_B = 3 and growing
+// linearly with density.
+//
+// Expected shape (paper): rises with density (more guards), peaks near
+// certainty, then falls rapidly once collisions swamp the guards.
+//
+//   ./bench_fig6a_detection_vs_density [--nb_min=3] [--nb_max=40]
+//                                      [--step=1] [--gamma=3]
+#include <cstdio>
+
+#include "analysis/coverage.h"
+#include "util/config.h"
+
+int main(int argc, char** argv) {
+  lw::Config args = lw::Config::from_args(argc, argv);
+  lw::analysis::CoverageParams params;
+  params.detection_confidence = args.get_int("gamma", 3);
+  const double nb_min = args.get_double("nb_min", 3.0);
+  const double nb_max = args.get_double("nb_max", 40.0);
+  const double step = args.get_double("step", 1.0);
+
+  std::puts("== Figure 6(a): P(wormhole detection) vs number of neighbors ==");
+  std::printf("params: kappa=%d k=%d gamma=%d P_C=%.2f@N_B=%.0f (linear)\n\n",
+              params.window_events, params.per_guard_threshold,
+              params.detection_confidence, params.pc_reference,
+              params.pc_reference_neighbors);
+  std::printf("%-8s %-8s %-10s %-12s %s\n", "N_B", "P_C", "guards",
+              "P_alert", "P(detection)");
+
+  auto curve =
+      lw::analysis::detection_vs_neighbors(params, nb_min, nb_max, step);
+  for (const auto& point : curve) {
+    const double pc = lw::analysis::collision_probability(params, point.x);
+    std::printf("%-8.1f %-8.3f %-10.2f %-12.4f %.4f\n", point.x, pc,
+                lw::analysis::expected_guards(point.x),
+                lw::analysis::guard_alert_probability(params, pc), point.y);
+  }
+
+  // Locate the peak for the summary line.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].y > curve[peak].y) peak = i;
+  }
+  std::printf("\npeak: P(detection) = %.4f at N_B = %.1f "
+              "(paper: rises, peaks near 1, then falls)\n",
+              curve[peak].y, curve[peak].x);
+  return 0;
+}

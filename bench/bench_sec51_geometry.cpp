@@ -1,0 +1,56 @@
+// Section 5.1 geometry: guard-region areas and expected guard counts.
+//
+// Prints the closed-form quantities next to the figures the paper quotes.
+// (The paper rounds aggressively; we report exact values.)
+#include <cstdio>
+
+#include "analysis/coverage.h"
+#include "util/math_util.h"
+
+int main() {
+  std::puts("== Section 5.1: guard geometry ==\n");
+
+  std::puts("Lens area A(x) between two discs of radius r, centers x apart");
+  std::puts("(the region from which a node guards the link S -> D):\n");
+  std::printf("  %-8s %-12s %s\n", "x/r", "A(x)/r^2", "A(x)/(pi r^2)");
+  for (double x = 0.0; x <= 1.0001; x += 0.125) {
+    const double area = lw::analysis::lens_area(x, 1.0);
+    std::printf("  %-8.3f %-12.4f %.4f\n", x, area, area / lw::kPi);
+  }
+
+  std::printf("\n  minimum area (x = r): %.4f r^2 = %.3f pi r^2   "
+              "(paper: \"0.36\")\n",
+              lw::analysis::min_lens_area(1.0),
+              lw::analysis::min_lens_area(1.0) / lw::kPi);
+  std::printf("  expected area E[A]  : %.4f r^2 = %.3f pi r^2   "
+              "(paper: \"1.6 r^2\")\n",
+              lw::analysis::expected_lens_area(1.0),
+              lw::analysis::expected_lens_area(1.0) / lw::kPi);
+
+  std::puts("\nExpected guards per link, g = E[A] d (N_B = pi r^2 d):\n");
+  std::printf("  %-8s %-12s %s\n", "N_B", "E[guards]", "min guards");
+  for (double nb : {3.0, 5.0, 8.0, 10.0, 15.0, 20.0}) {
+    std::printf("  %-8.1f %-12.2f %.2f\n", nb,
+                lw::analysis::expected_guards(nb),
+                lw::analysis::min_guards(nb));
+  }
+  std::printf("\n  g = %.4f N_B (paper: 0.51 N_B), g_min = %.4f N_B "
+              "(paper: 0.36 pi r^2 d)\n",
+              lw::analysis::expected_guards(1.0),
+              lw::analysis::min_guards(1.0));
+
+  std::puts("\nDesign query: density required for a detection target");
+  std::puts("(kappa=7, k=5, gamma=3, P_C = 0.05 at N_B = 3):\n");
+  lw::analysis::CoverageParams params;
+  for (double target : {0.80, 0.90, 0.95, 0.99}) {
+    const double nb =
+        lw::analysis::neighbors_for_detection(params, target, 3.0, 40.0);
+    if (nb > 0) {
+      std::printf("  P(detect) >= %.2f  needs N_B >= %.1f\n", target, nb);
+    } else {
+      std::printf("  P(detect) >= %.2f  unattainable below N_B = 40\n",
+                  target);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/cost_model.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace lw::analysis {
+namespace {
+
+double effective_neighbors(const CostParams& params) {
+  if (params.node_density > 0.0) {
+    return neighbors_from_density(params.radio_range, params.node_density);
+  }
+  return params.average_neighbors;
+}
+
+double effective_density(const CostParams& params) {
+  if (params.node_density > 0.0) return params.node_density;
+  return density_from_neighbors(params.radio_range,
+                                params.average_neighbors);
+}
+
+}  // namespace
+
+double neighbors_from_density(double radio_range, double node_density) {
+  return kPi * radio_range * radio_range * node_density;
+}
+
+double density_from_neighbors(double radio_range, double average_neighbors) {
+  return average_neighbors / (kPi * radio_range * radio_range);
+}
+
+std::size_t neighbor_list_bytes(double average_neighbors) {
+  const double bytes =
+      5.0 * average_neighbors + 4.0 * average_neighbors * average_neighbors;
+  return static_cast<std::size_t>(std::ceil(bytes));
+}
+
+std::size_t neighbor_list_bytes_paper(double average_neighbors) {
+  return static_cast<std::size_t>(
+      std::ceil(5.0 * average_neighbors * average_neighbors));
+}
+
+double nodes_watching_rep(const CostParams& params) {
+  const double r = params.radio_range;
+  return 2.0 * r * (params.average_route_hops + 1.0) * r *
+         effective_density(params);
+}
+
+double reps_watched_per_node(const CostParams& params) {
+  return nodes_watching_rep(params) /
+         static_cast<double>(params.network_size) *
+         params.route_establishment_rate;
+}
+
+double watch_buffer_entries(const CostParams& params, double watch_timeout) {
+  // Little's law: arrival rate of watched packets times their residence.
+  return reps_watched_per_node(params) * watch_timeout;
+}
+
+std::size_t watch_buffer_bytes(double entries) {
+  return static_cast<std::size_t>(std::ceil(20.0 * entries));
+}
+
+std::size_t alert_buffer_bytes(int detection_confidence) {
+  return 4u * static_cast<std::size_t>(detection_confidence);
+}
+
+std::size_t total_state_bytes(const CostParams& params, double watch_timeout,
+                              int detection_confidence) {
+  const double nb = effective_neighbors(params);
+  // Watch buffers are sized for the worst observed occupancy; give the
+  // Little's-law estimate a 4x headroom as the paper's example does
+  // ("a watch buffer size of 4 entries is more than enough").
+  const double watch_entries =
+      std::max(4.0, 4.0 * watch_buffer_entries(params, watch_timeout));
+  return neighbor_list_bytes(nb) + watch_buffer_bytes(watch_entries) +
+         alert_buffer_bytes(detection_confidence);
+}
+
+std::size_t discovery_bandwidth_bytes(double average_neighbors) {
+  // Mirrors pkt::WireSizes: 29-byte base header, 8-byte tag on replies,
+  // 4 bytes per listed neighbor and 12 bytes per per-member tag on the
+  // R_A broadcast.
+  const double hello = 29.0;
+  const double replies = average_neighbors * (29.0 + 8.0);
+  const double list = 29.0 + average_neighbors * (4.0 + 12.0);
+  return static_cast<std::size_t>(std::ceil(hello + replies + list));
+}
+
+std::size_t detection_bandwidth_bytes(double average_neighbors) {
+  const double alert = 29.0 + average_neighbors * 12.0;
+  const double relays = average_neighbors * alert;
+  return static_cast<std::size_t>(std::ceil(alert + relays));
+}
+
+}  // namespace lw::analysis

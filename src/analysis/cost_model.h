@@ -1,0 +1,63 @@
+// Cost analysis (Section 5.2): memory, computation, and bandwidth overhead
+// of LITEWORP as closed-form estimates. The micro-benchmarks measure the
+// same quantities on the live data structures.
+#pragma once
+
+#include <cstddef>
+
+namespace lw::analysis {
+
+struct CostParams {
+  double radio_range = 30.0;          // r, meters
+  double node_density = 0.0;          // d, nodes per m^2
+  double average_neighbors = 8.0;     // N_B = pi r^2 d (used when d == 0)
+  double average_route_hops = 4.0;    // h
+  double route_establishment_rate = 0.25;  // f, routes per time unit
+  std::size_t network_size = 100;     // N
+};
+
+/// N_B = pi r^2 d.
+double neighbors_from_density(double radio_range, double node_density);
+
+/// d = N_B / (pi r^2).
+double density_from_neighbors(double radio_range, double average_neighbors);
+
+/// Neighbor-list storage (NBLS): 5 bytes per first-hop entry (4 id + 1
+/// MalC) plus the stored second-hop lists at 4 bytes per entry:
+/// NBLS ~= 5 N_B + 4 N_B^2, which the paper rounds to 5 (pi r^2 d)^2.
+std::size_t neighbor_list_bytes(double average_neighbors);
+
+/// The paper's rounded form 5 (pi r^2 d)^2 for comparison.
+std::size_t neighbor_list_bytes_paper(double average_neighbors);
+
+/// Expected number of nodes that watch one REP traversal: the 2r x (h+1)r
+/// bounding box around the route, times density (paper's overestimate).
+double nodes_watching_rep(const CostParams& params);
+
+/// Route replies each node watches per time unit:
+/// (N_REP / N) * f.
+double reps_watched_per_node(const CostParams& params);
+
+/// Expected live watch-buffer entries per node given the watch timeout.
+double watch_buffer_entries(const CostParams& params, double watch_timeout);
+
+/// Watch-buffer bytes: 20 bytes per entry (paper's layout: 3 ids + 8-byte
+/// sequence number).
+std::size_t watch_buffer_bytes(double entries);
+
+/// Alert-buffer bytes: 4 bytes per stored guard id, gamma entries.
+std::size_t alert_buffer_bytes(int detection_confidence);
+
+/// Total LITEWORP state per node, in bytes.
+std::size_t total_state_bytes(const CostParams& params, double watch_timeout,
+                              int detection_confidence);
+
+/// One-time neighbor-discovery bandwidth per node, in bytes: HELLO +
+/// replies + the R_A broadcast with per-member tags.
+std::size_t discovery_bandwidth_bytes(double average_neighbors);
+
+/// Bandwidth spent when one wormhole endpoint is detected: the alert frame
+/// (per-recipient tags) plus one relay rebroadcast per receiving neighbor.
+std::size_t detection_bandwidth_bytes(double average_neighbors);
+
+}  // namespace lw::analysis

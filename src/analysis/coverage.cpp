@@ -1,0 +1,129 @@
+#include "analysis/coverage.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/special_functions.h"
+#include "util/math_util.h"
+
+namespace lw::analysis {
+
+double lens_area(double x, double r) {
+  if (r <= 0.0) throw std::invalid_argument("radius must be positive");
+  if (x <= 0.0) return kPi * r * r;  // coincident discs
+  if (x >= 2.0 * r) return 0.0;
+  return 2.0 * r * r * std::acos(x / (2.0 * r)) -
+         (x / 2.0) * std::sqrt(4.0 * r * r - x * x);
+}
+
+double expected_lens_area(double r) {
+  // E[A] = Integral_0^r A(x) 2x/r^2 dx, via composite Simpson.
+  constexpr int kIntervals = 2048;  // even
+  const double h = r / kIntervals;
+  double sum = 0.0;
+  for (int i = 0; i <= kIntervals; ++i) {
+    const double x = i * h;
+    const double fx = lens_area(x, r) * 2.0 * x / (r * r);
+    const double weight = (i == 0 || i == kIntervals) ? 1.0
+                          : (i % 2 == 1)              ? 4.0
+                                                      : 2.0;
+    sum += weight * fx;
+  }
+  return sum * h / 3.0;
+}
+
+double min_lens_area(double r) { return lens_area(r, r); }
+
+double expected_guards(double average_neighbors) {
+  // g = E[A] d and N_B = pi r^2 d  =>  g = (E[A]/(pi r^2)) N_B; the ratio
+  // is scale-free, so evaluate at r = 1.
+  static const double kRatio = expected_lens_area(1.0) / kPi;
+  return kRatio * average_neighbors;
+}
+
+double min_guards(double average_neighbors) {
+  static const double kRatio = min_lens_area(1.0) / kPi;
+  return kRatio * average_neighbors;
+}
+
+double collision_probability(const CoverageParams& params,
+                             double average_neighbors) {
+  const double pc = params.pc_reference * average_neighbors /
+                    params.pc_reference_neighbors;
+  return std::min(pc, params.pc_max);
+}
+
+double guard_alert_probability(const CoverageParams& params, double pc) {
+  return binomial_tail_at_least(
+      static_cast<std::uint64_t>(params.window_events),
+      static_cast<std::uint64_t>(params.per_guard_threshold), 1.0 - pc);
+}
+
+double detection_probability(const CoverageParams& params,
+                             double average_neighbors) {
+  const double pc = collision_probability(params, average_neighbors);
+  const double p_alert = guard_alert_probability(params, pc);
+  const double g = expected_guards(average_neighbors);
+  return at_least_k_of_n(params.detection_confidence, g, p_alert);
+}
+
+double false_suspicion_probability(double pc) { return pc * (1.0 - pc); }
+
+double guard_false_alarm_probability(const CoverageParams& params,
+                                     double pc) {
+  return binomial_tail_at_least(
+      static_cast<std::uint64_t>(params.window_events),
+      static_cast<std::uint64_t>(params.per_guard_threshold),
+      false_suspicion_probability(pc));
+}
+
+double false_alarm_probability(const CoverageParams& params,
+                               double average_neighbors) {
+  const double pc = collision_probability(params, average_neighbors);
+  const double p_guard = guard_false_alarm_probability(params, pc);
+  const double g = expected_guards(average_neighbors);
+  return at_least_k_of_n(params.detection_confidence, g, p_guard);
+}
+
+std::vector<CurvePoint> detection_vs_neighbors(const CoverageParams& params,
+                                               double nb_min, double nb_max,
+                                               double nb_step) {
+  std::vector<CurvePoint> curve;
+  for (double nb = nb_min; nb <= nb_max + nb_step / 2; nb += nb_step) {
+    curve.push_back({nb, detection_probability(params, nb)});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> false_alarm_vs_neighbors(const CoverageParams& params,
+                                                 double nb_min, double nb_max,
+                                                 double nb_step) {
+  std::vector<CurvePoint> curve;
+  for (double nb = nb_min; nb <= nb_max + nb_step / 2; nb += nb_step) {
+    curve.push_back({nb, false_alarm_probability(params, nb)});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> detection_vs_gamma(CoverageParams params,
+                                           double average_neighbors,
+                                           int gamma_min, int gamma_max) {
+  std::vector<CurvePoint> curve;
+  for (int gamma = gamma_min; gamma <= gamma_max; ++gamma) {
+    params.detection_confidence = gamma;
+    curve.push_back({static_cast<double>(gamma),
+                     detection_probability(params, average_neighbors)});
+  }
+  return curve;
+}
+
+double neighbors_for_detection(const CoverageParams& params, double target,
+                               double nb_min, double nb_max) {
+  constexpr double kStep = 0.1;
+  for (double nb = nb_min; nb <= nb_max; nb += kStep) {
+    if (detection_probability(params, nb) >= target) return nb;
+  }
+  return -1.0;
+}
+
+}  // namespace lw::analysis

@@ -1,0 +1,107 @@
+// Closed-form coverage analysis (Section 5.1): guard geometry, detection
+// probability, and false-alarm probability as functions of network density
+// and the detection confidence index gamma.
+#pragma once
+
+#include <vector>
+
+namespace lw::analysis {
+
+// ---------- Guard geometry ----------
+
+/// Area of the lens where two discs of radius r with centers x apart
+/// overlap: the region from which a node can guard the link S -> D.
+/// A(x) = 2 r^2 acos(x / 2r) - (x/2) sqrt(4 r^2 - x^2).
+double lens_area(double x, double r);
+
+/// E[A(X)] where the link length X has pdf f(x) = 2x/r^2 on (0, r).
+/// Exactly 1.8426 r^2 (the paper quotes "1.6 r^2", an approximation).
+double expected_lens_area(double r);
+
+/// Minimum guard-region area, attained at x = r: ~1.228 r^2 = 0.391 pi r^2
+/// (the paper quotes "0.36").
+double min_lens_area(double r);
+
+/// Expected number of guards of a random link given average neighbor count
+/// N_B = pi r^2 d:  g = E[A] * d = 0.5865 N_B (paper: 0.51 N_B).
+double expected_guards(double average_neighbors);
+
+/// Minimum expected number of guards (worst-case link length x = r).
+double min_guards(double average_neighbors);
+
+// ---------- Detection / false alarm ----------
+
+struct CoverageParams {
+  /// kappa: malicious control-packet events within the window T.
+  int window_events = 7;
+  /// k: events a single guard must catch before its MalC crosses C_t.
+  int per_guard_threshold = 5;
+  /// gamma: guards that must alert before neighbors isolate.
+  int detection_confidence = 3;
+  /// Collision probability P_C at the reference density...
+  double pc_reference = 0.05;
+  /// ...which is this average neighbor count.
+  double pc_reference_neighbors = 3.0;
+  /// P_C ceiling (a probability).
+  double pc_max = 0.95;
+};
+
+/// P_C as a function of density: linear growth with the number of
+/// neighbors through the reference point, clamped to pc_max.
+double collision_probability(const CoverageParams& params,
+                             double average_neighbors);
+
+/// Probability that one guard's MalC crosses C_t within the window:
+/// it must catch >= k of the kappa malicious events, each seen with
+/// probability (1 - P_C).
+double guard_alert_probability(const CoverageParams& params, double pc);
+
+/// Network-level detection probability: at least gamma of the g expected
+/// guards alert (regularized incomplete beta in g, which is non-integer).
+double detection_probability(const CoverageParams& params,
+                             double average_neighbors);
+
+/// Per-packet false-suspicion probability: the guard misses the handoff to
+/// the forwarder but hears the forward, P_FA = P_C (1 - P_C).
+double false_suspicion_probability(double pc);
+
+/// Probability one guard falsely accuses an honest neighbor within a
+/// window of kappa legitimate forwards.
+double guard_false_alarm_probability(const CoverageParams& params, double pc);
+
+/// Network-level false-alarm probability: at least gamma guards falsely
+/// accuse the same honest node.
+double false_alarm_probability(const CoverageParams& params,
+                               double average_neighbors);
+
+// ---------- Figure series ----------
+
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Figure 6(a): detection probability vs number of neighbors.
+std::vector<CurvePoint> detection_vs_neighbors(const CoverageParams& params,
+                                               double nb_min, double nb_max,
+                                               double nb_step);
+
+/// Figure 6(b): false-alarm probability vs number of neighbors.
+std::vector<CurvePoint> false_alarm_vs_neighbors(const CoverageParams& params,
+                                                 double nb_min, double nb_max,
+                                                 double nb_step);
+
+/// Figure 10 (analytical curve): detection probability vs gamma at fixed
+/// density.
+std::vector<CurvePoint> detection_vs_gamma(CoverageParams params,
+                                           double average_neighbors,
+                                           int gamma_min, int gamma_max);
+
+/// Density d (nodes per square meter) required for detection probability
+/// >= target at the given parameters; returns the smallest average
+/// neighbor count in [nb_min, nb_max] achieving it, or a negative value if
+/// unattainable (the "required density for p% coverage" design question).
+double neighbors_for_detection(const CoverageParams& params, double target,
+                               double nb_min, double nb_max);
+
+}  // namespace lw::analysis

@@ -1,0 +1,35 @@
+// Special functions for the coverage analysis (Section 5.1).
+//
+// The paper expresses "at least gamma of g guards alert" through the
+// regularized incomplete beta function — deliberately, because the expected
+// guard count g = 0.51 N_B is not an integer. We implement I_x(a, b) with
+// the standard continued-fraction expansion and validate it against exact
+// binomial tails at integer parameters.
+#pragma once
+
+#include <cstdint>
+
+namespace lw::analysis {
+
+/// Natural log of the complete beta function B(a, b).
+double log_beta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b), x in [0, 1], a, b > 0.
+/// Continued-fraction evaluation (Lentz's algorithm), accurate to ~1e-12.
+double regularized_incomplete_beta(double x, double a, double b);
+
+/// Binomial coefficient C(n, k) as a double (exact for the small n used
+/// in the analysis).
+double binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// P(X >= k) for X ~ Binomial(n, p): the upper tail, computed by direct
+/// summation.
+double binomial_tail_at_least(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(at least `threshold` of `count` independent events with probability
+/// `p` occur), allowing non-integer `count` via the beta identity
+/// P = I_p(threshold, count - threshold + 1). Falls back to the obvious
+/// degenerate answers when threshold <= 0 or threshold > count.
+double at_least_k_of_n(double threshold, double count, double p);
+
+}  // namespace lw::analysis

@@ -1,0 +1,39 @@
+#include "attack/modes.h"
+
+namespace lw::attack {
+
+const char* to_string(WormholeMode mode) {
+  switch (mode) {
+    case WormholeMode::kEncapsulation:
+      return "packet-encapsulation";
+    case WormholeMode::kOutOfBand:
+      return "out-of-band-channel";
+    case WormholeMode::kHighPower:
+      return "high-power-transmission";
+    case WormholeMode::kRelay:
+      return "packet-relay";
+    case WormholeMode::kRushing:
+      return "protocol-deviation";
+  }
+  return "?";
+}
+
+const std::vector<ModeInfo>& attack_mode_table() {
+  static const std::vector<ModeInfo> table = {
+      {WormholeMode::kEncapsulation, "Packet encapsulation", 2, "None", true},
+      {WormholeMode::kOutOfBand, "Out-of-band channel", 2, "Out-of-band link",
+       true},
+      {WormholeMode::kHighPower, "High power transmission", 1,
+       "High energy source", true},
+      {WormholeMode::kRelay, "Packet relay", 1, "None", true},
+      {WormholeMode::kRushing, "Protocol deviations", 1, "None", false},
+  };
+  return table;
+}
+
+bool needs_colluders(WormholeMode mode) {
+  return mode == WormholeMode::kEncapsulation ||
+         mode == WormholeMode::kOutOfBand;
+}
+
+}  // namespace lw::attack

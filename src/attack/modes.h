@@ -1,0 +1,35 @@
+// The wormhole attack taxonomy (Section 3, Table 1).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace lw::attack {
+
+enum class WormholeMode {
+  kEncapsulation,   // 3.1: tunnel over an existing multihop path
+  kOutOfBand,       // 3.2: dedicated high-bandwidth channel
+  kHighPower,       // 3.3: one node shouting across the field
+  kRelay,           // 3.4: replaying frames between non-neighbors
+  kRushing,         // 3.5: protocol deviation — forward without backoff
+};
+
+const char* to_string(WormholeMode mode);
+
+/// Row of the paper's Table 1, extended with whether LITEWORP detects the
+/// mode (it handles all but protocol deviation).
+struct ModeInfo {
+  WormholeMode mode;
+  std::string_view name;
+  int min_compromised_nodes;
+  std::string_view special_requirements;
+  bool detected_by_liteworp;
+};
+
+/// The five rows of Table 1.
+const std::vector<ModeInfo>& attack_mode_table();
+
+/// True for modes that need a colluding pair (tunnel endpoints).
+bool needs_colluders(WormholeMode mode);
+
+}  // namespace lw::attack

@@ -1,0 +1,76 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <array>
+
+namespace lw::crypto {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+std::array<std::uint8_t, kBlockSize> normalize_key(
+    std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, kBlockSize> block{};
+  if (key.size() > kBlockSize) {
+    Digest digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+  return block;
+}
+
+}  // namespace
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  auto block = normalize_key(key);
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::string_view message) {
+  return hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(message.data()),
+               message.size()));
+}
+
+bool digests_equal(const Digest& a, const Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+AuthTag make_tag(std::span<const std::uint8_t> key, std::string_view message) {
+  Digest digest = hmac_sha256(key, message);
+  AuthTag tag;
+  std::copy_n(digest.begin(), tag.size(), tag.begin());
+  return tag;
+}
+
+bool verify_tag(std::span<const std::uint8_t> key, std::string_view message,
+                const AuthTag& tag) {
+  AuthTag expected = make_tag(key, message);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < tag.size(); ++i) diff |= tag[i] ^ expected[i];
+  return diff == 0;
+}
+
+}  // namespace lw::crypto

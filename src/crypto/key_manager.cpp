@@ -1,0 +1,55 @@
+#include "crypto/key_manager.h"
+
+#include <algorithm>
+
+namespace lw::crypto {
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_u64(Key& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+KeyManager::KeyManager(std::uint64_t master_secret) {
+  append_u64(master_, master_secret);
+}
+
+Key KeyManager::pairwise_key(NodeId a, NodeId b) const {
+  NodeId lo = std::min(a, b);
+  NodeId hi = std::max(a, b);
+  std::string label = "pairwise:";
+  append_u32(label, lo);
+  append_u32(label, hi);
+  Digest digest = hmac_sha256(master_, label);
+  return Key(digest.begin(), digest.end());
+}
+
+AuthTag KeyManager::sign(NodeId self, NodeId peer,
+                         std::string_view message) const {
+  return make_tag(pairwise_key(self, peer), message);
+}
+
+bool KeyManager::verify(NodeId a, NodeId b, std::string_view message,
+                        const AuthTag& tag) const {
+  return verify_tag(pairwise_key(a, b), message, tag);
+}
+
+AuthTag forge_tag(std::uint64_t attacker_state) {
+  AuthTag tag;
+  for (std::size_t i = 0; i < tag.size(); ++i) {
+    attacker_state = attacker_state * 6364136223846793005ull + 1442695040888963407ull;
+    tag[i] = static_cast<std::uint8_t>(attacker_state >> 56);
+  }
+  return tag;
+}
+
+}  // namespace lw::crypto

@@ -1,0 +1,55 @@
+// SHA-256 per FIPS 180-4.
+//
+// LITEWORP assumes a pair-wise shared-key infrastructure and authenticated
+// messages (neighbor-discovery replies, neighbor-list broadcasts, alerts).
+// We implement the hash from scratch so the library is self-contained; it is
+// validated against the NIST short-message test vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace lw::crypto {
+
+/// 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context. Usage: update(...) any number of times,
+/// then finalize() exactly once.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb a span of bytes.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Pads, finishes, and returns the digest. The context must not be
+  /// updated afterwards (reset() starts a new message).
+  Digest finalize();
+
+  /// Reinitializes for a new message.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// Lowercase hex encoding of a digest (for logs and tests).
+std::string to_hex(const Digest& digest);
+
+}  // namespace lw::crypto

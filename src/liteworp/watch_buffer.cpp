@@ -1,0 +1,90 @@
+#include "liteworp/watch_buffer.h"
+
+#include <algorithm>
+
+namespace lw::lite {
+
+void WatchBuffer::record_transmit(const FlowKey& flow, NodeId node, Time now,
+                                  Duration ttl) {
+  purge_transmits(now);
+  Time& expiry = transmits_[FlowNodeKey{flow, node}];
+  expiry = std::max(expiry, now + ttl);
+  Time& flow_expiry = flow_transmits_[flow];
+  flow_expiry = std::max(flow_expiry, now + ttl);
+  note_size();
+}
+
+bool WatchBuffer::has_any_transmit(const FlowKey& flow, Time now) {
+  auto it = flow_transmits_.find(flow);
+  if (it == flow_transmits_.end()) return false;
+  if (it->second <= now) {
+    flow_transmits_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+bool WatchBuffer::has_transmit(const FlowKey& flow, NodeId node, Time now) {
+  auto it = transmits_.find(FlowNodeKey{flow, node});
+  if (it == transmits_.end()) return false;
+  if (it->second <= now) {
+    transmits_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+bool WatchBuffer::add_drop_watch(const FlowKey& flow, NodeId from, NodeId to,
+                                 Time deadline, sim::EventHandle expiry) {
+  auto [it, inserted] = watches_.try_emplace(LinkWatchKey{flow, from, to},
+                                             DropWatch{deadline, expiry});
+  if (!inserted) {
+    expiry.cancel();  // duplicate watch; keep the original timer
+    return false;
+  }
+  note_size();
+  return true;
+}
+
+bool WatchBuffer::clear_drop_watch(const FlowKey& flow, NodeId from,
+                                   NodeId to) {
+  auto it = watches_.find(LinkWatchKey{flow, from, to});
+  if (it == watches_.end()) return false;
+  it->second.expiry.cancel();
+  watches_.erase(it);
+  return true;
+}
+
+bool WatchBuffer::take_expired_drop_watch(const FlowKey& flow, NodeId from,
+                                          NodeId to) {
+  return watches_.erase(LinkWatchKey{flow, from, to}) > 0;
+}
+
+std::size_t WatchBuffer::clear_drop_watches_to(NodeId to) {
+  std::size_t cleared = 0;
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    if (it->first.to == to) {
+      it->second.expiry.cancel();
+      it = watches_.erase(it);
+      ++cleared;
+    } else {
+      ++it;
+    }
+  }
+  return cleared;
+}
+
+void WatchBuffer::purge_transmits(Time now) {
+  // Amortized: full sweep every 64 insertions once the table is non-tiny.
+  if (++purge_tick_ % 64 != 0 || transmits_.size() < 128) return;
+  std::erase_if(transmits_,
+                [now](const auto& entry) { return entry.second <= now; });
+  std::erase_if(flow_transmits_,
+                [now](const auto& entry) { return entry.second <= now; });
+}
+
+void WatchBuffer::note_size() {
+  peak_entries_ = std::max(peak_entries_, transmits_.size() + watches_.size());
+}
+
+}  // namespace lw::lite

@@ -1,0 +1,119 @@
+// The guard's watch buffer (Section 4.2.1, "Local Monitoring").
+//
+// Two kinds of state, matching how LITEWORP uses overheard control traffic:
+//
+//  * Transmit records — "I heard node X transmit control packet F". Matched
+//    NON-destructively: several neighbors may legitimately forward the same
+//    flooded REQ announcing X as previous hop, and each must find the
+//    record. Records expire silently after a TTL.
+//
+//  * Drop watches — "X handed REP F to A; A must forward it within delta".
+//    Created only for unicast REPs (a flooded REQ has no single obligated
+//    forwarder thanks to duplicate suppression, so accusing someone of
+//    dropping one would be noise). Cleared when the forward is overheard;
+//    expiry is a drop accusation against A.
+//
+// The fabrication check is the inverse lookup: overhearing A forward F with
+// announced previous hop X, while holding no transmit record (F, X), means
+// A fabricated the claim — the signature of a wormhole replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace lw::lite {
+
+/// (packet flow, node) composite key.
+struct FlowNodeKey {
+  FlowKey flow;
+  NodeId node = kInvalidNode;
+  friend bool operator==(const FlowNodeKey&, const FlowNodeKey&) = default;
+};
+
+struct FlowNodeKeyHash {
+  std::size_t operator()(const FlowNodeKey& k) const noexcept {
+    return std::hash<FlowKey>()(k.flow) * 0x9E3779B97F4A7C15ull + k.node;
+  }
+};
+
+/// (packet flow, from, to) composite key for drop watches.
+struct LinkWatchKey {
+  FlowKey flow;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  friend bool operator==(const LinkWatchKey&, const LinkWatchKey&) = default;
+};
+
+struct LinkWatchKeyHash {
+  std::size_t operator()(const LinkWatchKey& k) const noexcept {
+    std::size_t h = std::hash<FlowKey>()(k.flow);
+    h = h * 0x9E3779B97F4A7C15ull + k.from;
+    h = h * 0x9E3779B97F4A7C15ull + k.to;
+    return h;
+  }
+};
+
+class WatchBuffer {
+ public:
+  /// Remembers that `node` transmitted `flow`; lives until now + ttl.
+  void record_transmit(const FlowKey& flow, NodeId node, Time now,
+                       Duration ttl);
+
+  /// True if a live transmit record (flow, node) exists.
+  bool has_transmit(const FlowKey& flow, NodeId node, Time now);
+
+  /// True if ANY live transmit record exists for `flow` — i.e. this guard
+  /// has heard the flooded packet from someone. A forward of a flow the
+  /// guard never heard at all is the wormhole-replay signature.
+  bool has_any_transmit(const FlowKey& flow, Time now);
+
+  /// Adds a drop watch; the caller schedules the expiry callback and owns
+  /// the accusation logic. Returns false if an identical watch exists.
+  bool add_drop_watch(const FlowKey& flow, NodeId from, NodeId to,
+                      Time deadline, sim::EventHandle expiry);
+
+  /// Clears the watch (the expected forward was overheard). Cancels the
+  /// expiry event. Returns true if a watch existed.
+  bool clear_drop_watch(const FlowKey& flow, NodeId from, NodeId to);
+
+  /// Removes the watch when its expiry fires; returns true if it was still
+  /// armed (i.e. the forward was never overheard).
+  bool take_expired_drop_watch(const FlowKey& flow, NodeId from, NodeId to);
+
+  /// Clears every watch whose obligated forwarder is `to` (the node just
+  /// audibly refused a route — e.g. broadcast a RERR — so it is not a
+  /// silent dropper). Returns the number cleared.
+  std::size_t clear_drop_watches_to(NodeId to);
+
+  std::size_t transmit_records() const { return transmits_.size(); }
+  std::size_t drop_watches() const { return watches_.size(); }
+  std::size_t peak_entries() const { return peak_entries_; }
+
+  /// Paper cost model: 20 bytes per watch-buffer entry.
+  std::size_t storage_bytes() const {
+    return 20 * (transmits_.size() + watches_.size());
+  }
+
+ private:
+  struct DropWatch {
+    Time deadline;
+    sim::EventHandle expiry;
+  };
+
+  void purge_transmits(Time now);
+  void note_size();
+
+  std::unordered_map<FlowNodeKey, Time, FlowNodeKeyHash> transmits_;
+  /// Latest transmit-record expiry per flow (any transmitter).
+  std::unordered_map<FlowKey, Time> flow_transmits_;
+  std::unordered_map<LinkWatchKey, DropWatch, LinkWatchKeyHash> watches_;
+  std::size_t peak_entries_ = 0;
+  std::size_t purge_tick_ = 0;
+};
+
+}  // namespace lw::lite

@@ -1,0 +1,304 @@
+#include "mac/csma_mac.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lw::mac {
+namespace {
+
+/// Control-frame uid tag bits; data uids are factory counters, so the high
+/// bits are free and every control frame stays unique on the air.
+constexpr PacketUid kAckUidTag = 1ull << 63;
+constexpr PacketUid kRtsUidTag = 1ull << 62;
+constexpr PacketUid kCtsUidTag = 1ull << 61;
+
+}  // namespace
+
+CsmaMac::CsmaMac(sim::Simulator& simulator, phy::Medium& medium,
+                 phy::Radio& radio, Rng backoff_rng, MacParams params)
+    : simulator_(simulator),
+      medium_(medium),
+      radio_(radio),
+      rng_(backoff_rng),
+      params_(params) {
+  radio_.set_tx_done_sink([this] { on_tx_done(); });
+  radio_.set_frame_sink([this](const pkt::Packet& p) { on_frame(p); });
+}
+
+Duration CsmaMac::frame_duration(const pkt::Packet& packet) const {
+  return medium_.transmit_duration(packet);
+}
+
+void CsmaMac::send(pkt::Packet packet, SendOptions options) {
+  ++stats_.enqueued;
+  Outgoing outgoing{std::move(packet), options, 0, 0};
+  const bool jitter = options.flood_jitter && !options.skip_backoff;
+  if (jitter) {
+    Duration delay = rng_.uniform(0.0, params_.flood_jitter_max);
+    simulator_.schedule(delay, [this, outgoing = std::move(outgoing)]() mutable {
+      enqueue(std::move(outgoing), /*front=*/false);
+    });
+  } else {
+    enqueue(std::move(outgoing), /*front=*/false);
+  }
+}
+
+void CsmaMac::enqueue(Outgoing outgoing, bool front) {
+  if (front) {
+    queue_.push_front(std::move(outgoing));
+  } else {
+    queue_.push_back(std::move(outgoing));
+  }
+  pump();
+}
+
+Duration CsmaMac::backoff_delay(int attempts) {
+  int cw = params_.initial_cw_slots << std::min(attempts, 5);
+  cw = std::min(cw, params_.max_cw_slots);
+  auto slots = rng_.uniform_int(1, static_cast<std::uint64_t>(cw));
+  return static_cast<double>(slots) * params_.slot;
+}
+
+bool CsmaMac::wants_ack(const Outgoing& outgoing) const {
+  return params_.arq && !outgoing.options.skip_backoff &&
+         outgoing.packet.link_dst != kInvalidNode &&
+         !is_mac_control(outgoing.packet.type);
+}
+
+bool CsmaMac::wants_rts(const Outgoing& outgoing) const {
+  return wants_ack(outgoing) &&
+         outgoing.packet.wire_size() >= params_.rts_threshold;
+}
+
+void CsmaMac::pump() {
+  while (true) {
+    if (queue_.empty()) return;
+    if (in_flight_) return;  // tx-done resumes
+    if (retry_scheduled_) return;
+    Outgoing& head = queue_.front();
+    const bool control = is_mac_control(head.packet.type);
+    // While a unicast exchange is pending, or one of our own SIFS-priority
+    // responses (ACK/CTS for others) is about to be queued, only control
+    // frames may go out.
+    if ((exchange_ || pending_responses_ > 0) && !control) return;
+
+    const bool busy = medium_.channel_busy(radio_.id());
+    if (busy && !head.options.skip_backoff && !control) {
+      ++head.busy_attempts;
+      if (head.busy_attempts > params_.max_attempts) {
+        ++stats_.dropped_channel_busy;
+        queue_.pop_front();
+        continue;  // try the next frame
+      }
+      retry_scheduled_ = true;
+      simulator_.schedule(backoff_delay(head.busy_attempts), [this] {
+        retry_scheduled_ = false;
+        pump();
+      });
+      return;
+    }
+
+    Outgoing outgoing = std::move(queue_.front());
+    queue_.pop_front();
+
+    if (wants_rts(outgoing)) {
+      begin_exchange(std::move(outgoing));
+    } else {
+      transmit_now(std::move(outgoing));
+    }
+    return;
+  }
+}
+
+void CsmaMac::begin_exchange(Outgoing outgoing) {
+  const pkt::Packet& data = outgoing.packet;
+
+  pkt::Packet rts;
+  rts.uid = data.uid | kRtsUidTag;
+  rts.type = pkt::PacketType::kRts;
+  rts.link_dst = data.link_dst;
+  rts.claimed_tx = radio_.id();
+  rts.acked_uid = data.uid;
+  // Channel reservation: CTS + DATA + ACK plus the SIFS gaps between them.
+  pkt::Packet cts_model;
+  cts_model.type = pkt::PacketType::kCts;
+  pkt::Packet ack_model;
+  ack_model.type = pkt::PacketType::kAck;
+  rts.nav_duration = 3 * params_.sifs + frame_duration(cts_model) +
+                     frame_duration(data) + frame_duration(ack_model);
+
+  const double range = outgoing.options.range_multiplier;
+  exchange_ = Exchange{std::move(outgoing), Exchange::Stage::kWaitCts};
+  ++stats_.rts_sent;
+  transmit_now(Outgoing{std::move(rts), SendOptions{false, range, false}, 0, 0});
+}
+
+void CsmaMac::transmit_now(Outgoing outgoing) {
+  if (in_flight_) {
+    // The air is ours conceptually but a frame is still leaving the
+    // radio; retry as soon as it is done.
+    simulator_.schedule(0.002, [this, outgoing = std::move(outgoing)]() mutable {
+      transmit_now(std::move(outgoing));
+    });
+    return;
+  }
+  in_flight_ = std::move(outgoing);
+  ++stats_.transmitted;
+  medium_.transmit(radio_.id(), in_flight_->packet,
+                   in_flight_->options.range_multiplier);
+}
+
+void CsmaMac::on_tx_done() {
+  assert(in_flight_ && "tx completion without a frame in flight");
+  Outgoing done = std::move(*in_flight_);
+  in_flight_.reset();
+
+  if (done.packet.type == pkt::PacketType::kRts) {
+    // Waiting for the CTS; the exchange frame is parked in exchange_.
+    arm_response_timer();
+  } else if (exchange_ &&
+             exchange_->stage == Exchange::Stage::kWaitAck &&
+             done.packet.uid == exchange_->frame.packet.uid) {
+    arm_response_timer();  // DATA of the exchange is out; waiting for ACK
+  } else if (wants_ack(done) && !exchange_) {
+    // Plain (non-RTS) unicast: park it and wait for the ACK.
+    exchange_ = Exchange{std::move(done), Exchange::Stage::kWaitAck};
+    arm_response_timer();
+  }
+  pump();
+}
+
+void CsmaMac::arm_response_timer() {
+  response_timer_ = simulator_.schedule_cancellable(
+      params_.response_timeout, [this] { fail_exchange_attempt(); });
+}
+
+void CsmaMac::fail_exchange_attempt() {
+  if (!exchange_) return;
+  Outgoing frame = std::move(exchange_->frame);
+  exchange_.reset();
+  ++frame.retransmissions;
+  if (frame.retransmissions > params_.max_retransmissions) {
+    ++stats_.dropped_no_ack;
+    pump();
+    return;
+  }
+  ++stats_.retransmissions;
+  // Collision loss is the usual reason we are here; grow the contention
+  // window with the retransmission count so repeated losses spread out.
+  frame.busy_attempts = frame.retransmissions;
+  const Duration delay = backoff_delay(frame.retransmissions);
+  queue_.push_front(std::move(frame));
+  retry_scheduled_ = true;
+  simulator_.schedule(delay, [this] {
+    retry_scheduled_ = false;
+    pump();
+  });
+}
+
+void CsmaMac::send_control_response(pkt::Packet response) {
+  // Until the response leaves the SIFS delay and takes the queue front,
+  // nothing else may start transmitting: an overtaking data frame would
+  // have us on the air exactly when the peer's ACK arrives (half-duplex
+  // self-collision on every forwarding hop).
+  ++pending_responses_;
+  simulator_.schedule(params_.sifs,
+                      [this, response = std::move(response)]() mutable {
+                        --pending_responses_;
+                        enqueue(Outgoing{std::move(response), SendOptions{},
+                                         0, 0},
+                                /*front=*/true);
+                      });
+}
+
+void CsmaMac::on_frame(const pkt::Packet& packet) {
+  const Time now = simulator_.now();
+  switch (packet.type) {
+    case pkt::PacketType::kAck: {
+      if (packet.link_dst != radio_.id()) return;  // overheard ACK
+      if (!exchange_ || exchange_->stage != Exchange::Stage::kWaitAck) return;
+      if (packet.acked_uid != exchange_->frame.packet.uid) return;
+      response_timer_.cancel();
+      exchange_.reset();
+      pump();
+      return;
+    }
+    case pkt::PacketType::kRts: {
+      if (packet.link_dst != radio_.id()) {
+        radio_.set_nav(now + packet.nav_duration);
+        return;
+      }
+      // Honor a neighbor's reservation: no CTS while our NAV is set.
+      if (now < radio_.nav_until()) return;
+      pkt::Packet cts;
+      cts.uid = packet.acked_uid | kCtsUidTag;
+      cts.type = pkt::PacketType::kCts;
+      cts.link_dst = packet.claimed_tx;
+      cts.claimed_tx = radio_.id();
+      cts.acked_uid = packet.acked_uid;
+      cts.nav_duration = std::max(
+          0.0, packet.nav_duration - frame_duration(cts) - params_.sifs);
+      ++stats_.cts_sent;
+      send_control_response(std::move(cts));
+      return;
+    }
+    case pkt::PacketType::kCts: {
+      if (packet.link_dst != radio_.id()) {
+        radio_.set_nav(now + packet.nav_duration);
+        return;
+      }
+      if (!exchange_ || exchange_->stage != Exchange::Stage::kWaitCts) return;
+      if (packet.acked_uid != exchange_->frame.packet.uid) return;
+      response_timer_.cancel();
+      exchange_->stage = Exchange::Stage::kWaitAck;
+      pkt::Packet data = exchange_->frame.packet;  // retransmissions reuse it
+      const double range = exchange_->frame.options.range_multiplier;
+      simulator_.schedule(params_.sifs, [this, data = std::move(data),
+                                         range]() mutable {
+        transmit_now(Outgoing{std::move(data), SendOptions{false, range, false},
+                              0, 0});
+      });
+      return;
+    }
+    default:
+      break;
+  }
+
+  if (params_.arq && packet.link_dst != kInvalidNode &&
+      packet.link_dst != radio_.id()) {
+    // Overheard unicast data: its ACK follows after SIFS. Defer through
+    // the ACK slot (the 802.11 duration-field discipline) so our own
+    // transmission cannot stomp it.
+    pkt::Packet ack_model;
+    ack_model.type = pkt::PacketType::kAck;
+    radio_.set_nav(now + params_.sifs + frame_duration(ack_model) + 0.001);
+  }
+
+  if (params_.arq && packet.link_dst == radio_.id()) {
+    pkt::Packet ack;
+    ack.uid = packet.uid | kAckUidTag;
+    ack.type = pkt::PacketType::kAck;
+    ack.link_dst = packet.claimed_tx;
+    ack.claimed_tx = radio_.id();
+    ack.acked_uid = packet.uid;
+    ++stats_.acks_sent;
+    send_control_response(std::move(ack));
+
+    // Retransmission duplicate? The sender repeats the same uid until our
+    // ACK gets through.
+    auto [it, inserted] =
+        last_accepted_.try_emplace(packet.claimed_tx, packet.uid);
+    if (!inserted) {
+      if (it->second == packet.uid) {
+        ++stats_.duplicates_suppressed;
+        return;
+      }
+      it->second = packet.uid;
+    }
+  }
+
+  if (upcall_) upcall_(packet);
+}
+
+}  // namespace lw::mac

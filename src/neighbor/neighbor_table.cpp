@@ -1,0 +1,73 @@
+#include "neighbor/neighbor_table.h"
+
+#include <algorithm>
+
+namespace lw::nbr {
+
+void NeighborTable::add_neighbor(NodeId id) {
+  if (neighbors_.insert(id).second) order_.push_back(id);
+}
+
+bool NeighborTable::knows_neighbor(NodeId id) const {
+  return neighbors_.count(id) != 0;
+}
+
+bool NeighborTable::is_active_neighbor(NodeId id) const {
+  return knows_neighbor(id) && !is_revoked(id);
+}
+
+void NeighborTable::set_neighbor_list(NodeId owner, std::vector<NodeId> list) {
+  if (!knows_neighbor(owner)) return;
+  list_sets_[owner] = std::unordered_set<NodeId>(list.begin(), list.end());
+  lists_[owner] = std::move(list);
+}
+
+bool NeighborTable::has_list_of(NodeId owner) const {
+  return lists_.count(owner) != 0;
+}
+
+const std::vector<NodeId>* NeighborTable::list_of(NodeId owner) const {
+  auto it = lists_.find(owner);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+bool NeighborTable::in_list_of(NodeId owner, NodeId candidate) const {
+  auto it = list_sets_.find(owner);
+  return it != list_sets_.end() && it->second.count(candidate) != 0;
+}
+
+bool NeighborTable::is_within_two_hops(NodeId id) const {
+  if (knows_neighbor(id)) return true;
+  return std::any_of(list_sets_.begin(), list_sets_.end(),
+                     [id](const auto& entry) {
+                       return entry.second.count(id) != 0;
+                     });
+}
+
+void NeighborTable::revoke(NodeId id) {
+  if (knows_neighbor(id)) revoked_.insert(id);
+}
+
+bool NeighborTable::is_revoked(NodeId id) const {
+  return revoked_.count(id) != 0;
+}
+
+std::vector<NodeId> NeighborTable::active_neighbors() const {
+  std::vector<NodeId> active;
+  active.reserve(order_.size());
+  for (NodeId id : order_) {
+    if (!is_revoked(id)) active.push_back(id);
+  }
+  return active;
+}
+
+std::size_t NeighborTable::storage_bytes() const {
+  std::size_t bytes = 5 * order_.size();
+  for (const auto& [owner, list] : lists_) {
+    (void)owner;
+    bytes += 4 * list.size();
+  }
+  return bytes;
+}
+
+}  // namespace lw::nbr

@@ -1,0 +1,73 @@
+// First- and second-hop neighbor knowledge with revocation state.
+//
+// After secure discovery a node stores (a) its own first-hop neighbor list
+// and (b) the full neighbor list R_B of each of its neighbors B — the
+// second-hop knowledge LITEWORP's checks and guard predicate rely on.
+// Revocation marks a neighbor as isolated: it stays in the table (so alerts
+// about it still verify) but fails every admission check.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace lw::nbr {
+
+class NeighborTable {
+ public:
+  /// Registers a verified first-hop neighbor.
+  void add_neighbor(NodeId id);
+
+  /// True if `id` is a known first-hop neighbor, revoked or not.
+  bool knows_neighbor(NodeId id) const;
+
+  /// True if `id` is a first-hop neighbor in good standing.
+  bool is_active_neighbor(NodeId id) const;
+
+  /// Stores the authenticated neighbor list R_owner of a first-hop
+  /// neighbor. Silently ignored when `owner` is unknown (a list from a
+  /// non-neighbor is rejected upstream anyway).
+  void set_neighbor_list(NodeId owner, std::vector<NodeId> list);
+
+  bool has_list_of(NodeId owner) const;
+
+  /// R_owner, or nullptr if not stored.
+  const std::vector<NodeId>* list_of(NodeId owner) const;
+
+  /// True if `candidate` appears in the stored list R_owner — i.e. the
+  /// claim "owner received this from candidate" is topologically plausible.
+  bool in_list_of(NodeId owner, NodeId candidate) const;
+
+  /// True if `id` appears in any stored neighbor list: a second-hop (or
+  /// first-hop) node of ours.
+  bool is_within_two_hops(NodeId id) const;
+
+  /// Marks a neighbor as isolated. Idempotent.
+  void revoke(NodeId id);
+  bool is_revoked(NodeId id) const;
+
+  /// All first-hop neighbors (including revoked); insertion order.
+  const std::vector<NodeId>& neighbors() const { return order_; }
+
+  /// First-hop neighbors in good standing.
+  std::vector<NodeId> active_neighbors() const;
+
+  std::size_t neighbor_count() const { return order_.size(); }
+  std::size_t revoked_count() const { return revoked_.size(); }
+
+  /// Storage footprint per the paper's cost model: 5 bytes per first-hop
+  /// entry (4 id + 1 MalC) plus 4 bytes per stored second-hop list entry.
+  std::size_t storage_bytes() const;
+
+ private:
+  std::vector<NodeId> order_;
+  std::unordered_set<NodeId> neighbors_;
+  std::unordered_set<NodeId> revoked_;
+  std::unordered_map<NodeId, std::vector<NodeId>> lists_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> list_sets_;
+};
+
+}  // namespace lw::nbr

@@ -1,0 +1,47 @@
+// Services a protocol agent receives from its host node.
+//
+// Protocol agents (neighbor discovery, routing, local monitoring, attack
+// agents) are written against this narrow interface rather than against the
+// concrete Node, which keeps the protocol libraries independent of the
+// wiring layer and lets tests host agents in minimal harnesses.
+#pragma once
+
+#include "crypto/key_manager.h"
+#include "mac/csma_mac.h"
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace lw::node {
+
+class NodeEnv {
+ public:
+  virtual ~NodeEnv() = default;
+
+  /// This node's identity.
+  virtual NodeId id() const = 0;
+
+  virtual sim::Simulator& simulator() = 0;
+
+  /// Factory stamping globally unique packet uids.
+  virtual pkt::PacketFactory& packet_factory() = 0;
+
+  /// Deployment-wide pairwise key infrastructure.
+  virtual const crypto::KeyManager& keys() const = 0;
+
+  /// This node's private randomness stream.
+  virtual Rng& rng() = 0;
+
+  /// Hands a frame to the MAC transmit path. The node fills claimed_tx
+  /// with its own id when the caller left it unset (honest default);
+  /// attack agents may pre-set a spoofed identity.
+  virtual void send(pkt::Packet packet, mac::SendOptions options = {}) = 0;
+
+  /// Local congestion signal: frames waiting in the MAC transmit queue.
+  virtual std::size_t mac_queue_depth() const = 0;
+
+  Time now() { return simulator().now(); }
+};
+
+}  // namespace lw::node

@@ -1,0 +1,108 @@
+#include "packet/packet.h"
+
+#include <sstream>
+
+namespace lw::pkt {
+
+const char* to_string(PacketType type) {
+  switch (type) {
+    case PacketType::kHello:
+      return "HELLO";
+    case PacketType::kHelloReply:
+      return "HELLO_REPLY";
+    case PacketType::kNeighborList:
+      return "NEIGHBOR_LIST";
+    case PacketType::kRouteRequest:
+      return "REQ";
+    case PacketType::kRouteReply:
+      return "REP";
+    case PacketType::kData:
+      return "DATA";
+    case PacketType::kAlert:
+      return "ALERT";
+    case PacketType::kAck:
+      return "ACK";
+    case PacketType::kRts:
+      return "RTS";
+    case PacketType::kCts:
+      return "CTS";
+    case PacketType::kRouteError:
+      return "RERR";
+    case PacketType::kJoinHello:
+      return "JOIN_HELLO";
+    case PacketType::kJoinChallenge:
+      return "JOIN_CHALLENGE";
+    case PacketType::kJoinResponse:
+      return "JOIN_RESPONSE";
+  }
+  return "?";
+}
+
+bool is_watched_control(PacketType type) {
+  return type == PacketType::kRouteRequest || type == PacketType::kRouteReply;
+}
+
+std::uint32_t Packet::wire_size() const {
+  std::uint32_t size = WireSizes::kBaseHeader;
+  size += WireSizes::kPerRouteHop * static_cast<std::uint32_t>(route.size());
+  size += WireSizes::kPerNeighbor *
+          static_cast<std::uint32_t>(neighbor_list.size());
+  size += WireSizes::kPerAlertAuth *
+          static_cast<std::uint32_t>(alert_auth.size());
+  switch (type) {
+    case PacketType::kHelloReply:
+      size += WireSizes::kAuthTag;
+      break;
+    case PacketType::kData:
+      size += payload_bytes;
+      break;
+    case PacketType::kAck:
+      return WireSizes::kAckFrame;  // fixed-size control frames
+    case PacketType::kRts:
+      return WireSizes::kRtsFrame;
+    case PacketType::kCts:
+      return WireSizes::kCtsFrame;
+    default:
+      break;
+  }
+  return size;
+}
+
+std::string Packet::auth_payload() const {
+  std::ostringstream out;
+  out << static_cast<int>(type) << '|' << origin << '|' << seq << '|'
+      << final_dst;
+  switch (type) {
+    case PacketType::kNeighborList:
+      for (NodeId id : neighbor_list) out << ',' << id;
+      break;
+    case PacketType::kAlert:
+      out << "|accused=" << accused << "|guard=" << accusing_guard;
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+std::string Packet::describe() const {
+  std::ostringstream out;
+  out << to_string(type) << " uid=" << uid << " origin=" << origin
+      << " seq=" << seq << " dst=" << final_dst << " tx=" << tx_node
+      << " claimed_tx=" << claimed_tx << " prev=" << announced_prev_hop;
+  if (link_dst != kInvalidNode) out << " link_dst=" << link_dst;
+  if (!route.empty()) {
+    out << " route=[";
+    for (std::size_t i = 0; i < route.size(); ++i) {
+      if (i) out << ' ';
+      out << route[i];
+    }
+    out << "]@" << route_index;
+  }
+  if (type == PacketType::kAlert) {
+    out << " accused=" << accused << " by=" << accusing_guard;
+  }
+  return out.str();
+}
+
+}  // namespace lw::pkt

@@ -1,0 +1,130 @@
+#include "phy/medium.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lw::phy {
+
+Medium::Medium(sim::Simulator& simulator, const topo::DiscGraph& graph,
+               PhyParams params, Rng loss_rng)
+    : simulator_(simulator),
+      graph_(graph),
+      params_(params),
+      loss_rng_(loss_rng) {
+  radios_.resize(graph.size(), nullptr);
+  rx_range_multiplier_.resize(graph.size(), 1.0);
+}
+
+void Medium::set_rx_range_multiplier(NodeId node, double multiplier) {
+  rx_range_multiplier_.at(node) = multiplier;
+}
+
+void Medium::attach(Radio* radio) {
+  assert(radio != nullptr);
+  if (radio->id() >= radios_.size()) {
+    throw std::out_of_range("radio id beyond topology size");
+  }
+  radios_[radio->id()] = radio;
+}
+
+Duration Medium::transmit_duration(const pkt::Packet& packet) const {
+  return static_cast<double>(packet.wire_size()) * 8.0 / params_.bandwidth_bps;
+}
+
+bool Medium::channel_busy(NodeId node) const {
+  const Radio* radio = radios_.at(node);
+  assert(radio != nullptr);
+  return radio->channel_busy(simulator_.now());
+}
+
+void Medium::transmit(NodeId sender, pkt::Packet packet,
+                      double range_multiplier) {
+  Radio* tx_radio = radios_.at(sender);
+  assert(tx_radio != nullptr && "transmit from unattached radio");
+
+  packet.tx_node = sender;
+  // Leash stamps: only the genuine keyholder can sign a fresh timestamp
+  // or location, so spoofed replays keep the original (stale/far) values.
+  if (packet.claimed_tx == sender || packet.claimed_tx == kInvalidNode) {
+    packet.leash_timestamp = simulator_.now();
+    const topo::Position& at = graph_.position(sender);
+    packet.leash_x = at.x;
+    packet.leash_y = at.y;
+    packet.leash_located = true;
+  }
+  auto shared = std::make_shared<const pkt::Packet>(std::move(packet));
+
+  const Time now = simulator_.now();
+  const Duration duration = transmit_duration(*shared);
+  const bool collisions = collisions_active();
+
+  tx_radio->begin_transmit(now + duration);
+  if (collisions) tx_radio->corrupt_ongoing_receptions();
+  simulator_.schedule(duration, [tx_radio] { tx_radio->finish_transmit(); });
+  ++stats_.frames_transmitted;
+  if (trace_) trace_->on_transmit(now, *shared, sender);
+  const auto type_index = static_cast<std::size_t>(shared->type);
+  if (type_index < stats_.tx_by_type.size()) {
+    ++stats_.tx_by_type[type_index];
+    stats_.airtime_by_type[type_index] += duration;
+  }
+
+  for (NodeId receiver = 0; receiver < radios_.size(); ++receiver) {
+    if (receiver == sender) continue;
+    // A frame is decodable when the transmitter shouts far enough or the
+    // receiver listens hard enough, whichever is stronger.
+    const double reach =
+        graph_.range() *
+        std::max(range_multiplier, rx_range_multiplier_[receiver]);
+    if (graph_.distance(sender, receiver) > reach) continue;
+    Radio* rx_radio = radios_[receiver];
+    if (rx_radio == nullptr) continue;
+
+    const Duration propagation =
+        graph_.distance(sender, receiver) / params_.propagation_speed;
+    const Time rx_start = now + propagation;
+    const Time rx_end = rx_start + duration;
+
+    simulator_.schedule_at(rx_start, [this, rx_radio, shared, rx_end] {
+      rx_radio->begin_receive(shared, simulator_.now(), rx_end,
+                              collisions_active());
+    });
+    simulator_.schedule_at(rx_end, [this, rx_radio, shared] {
+      // The secure-discovery grace window models the paper's assumption
+      // that neighbor discovery completes reliably; injected random loss
+      // honors it just like collisions do.
+      const bool random_loss = params_.extra_loss_prob > 0.0 &&
+                               simulator_.now() >=
+                                   params_.collision_free_until &&
+                               loss_rng_.chance(params_.extra_loss_prob);
+      switch (rx_radio->finish_receive(*shared, random_loss)) {
+        case RxOutcome::kDelivered:
+          ++stats_.frames_delivered;
+          if (trace_) {
+            trace_->on_deliver(simulator_.now(), *shared, rx_radio->id());
+          }
+          break;
+        case RxOutcome::kCollision: {
+          ++stats_.frames_collided;
+          const auto idx = static_cast<std::size_t>(shared->type);
+          if (idx < stats_.collisions_by_type.size()) {
+            ++stats_.collisions_by_type[idx];
+          }
+          if (trace_) {
+            trace_->on_collision(simulator_.now(), *shared, rx_radio->id());
+          }
+          break;
+        }
+        case RxOutcome::kRandomLoss:
+          ++stats_.frames_random_lost;
+          if (trace_) {
+            trace_->on_random_loss(simulator_.now(), *shared,
+                                   rx_radio->id());
+          }
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace lw::phy

@@ -1,0 +1,93 @@
+// The shared broadcast medium.
+//
+// Disc propagation model over the deployment geometry: every node within
+// `range * range_multiplier` of the transmitter receives the frame after a
+// distance-proportional propagation delay plus the serialization time at the
+// channel bandwidth. Overlapping arrivals at a receiver corrupt each other
+// (both are lost), matching the paper's "natural collisions".
+//
+// The high-power wormhole mode (Section 3.3) transmits with a multiplier
+// > 1; honest nodes always use 1.0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.h"
+#include "phy/phy_params.h"
+#include "phy/radio.h"
+#include "phy/trace.h"
+#include "sim/simulator.h"
+#include "topology/disc_graph.h"
+#include "util/rng.h"
+
+namespace lw::phy {
+
+/// Channel-level counters for the metrics layer.
+struct MediumStats {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_collided = 0;
+  std::uint64_t frames_random_lost = 0;
+  /// Transmission count and airtime (seconds) by packet type (index =
+  /// PacketType value).
+  std::array<std::uint64_t, 16> tx_by_type{};
+  std::array<double, 16> airtime_by_type{};
+  /// Receptions lost to collision, by packet type.
+  std::array<std::uint64_t, 16> collisions_by_type{};
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& simulator, const topo::DiscGraph& graph,
+         PhyParams params, Rng loss_rng);
+
+  /// Registers the radio for `radio->id()`. All radios must be attached
+  /// before the first transmission.
+  void attach(Radio* radio);
+
+  /// Starts transmitting `packet` from `sender` now. The packet's tx_node
+  /// is stamped with the sender id. range_multiplier scales the disc radius
+  /// (high-power attack mode); 1.0 for honest traffic.
+  void transmit(NodeId sender, pkt::Packet packet,
+                double range_multiplier = 1.0);
+
+  /// Serialization time of a packet at the channel bandwidth.
+  Duration transmit_duration(const pkt::Packet& packet) const;
+
+  /// Carrier sense at a node.
+  bool channel_busy(NodeId node) const;
+
+  /// Gives one node a high-gain receiver: it decodes transmissions from up
+  /// to `multiplier` times the nominal range. The high-power attacker needs
+  /// this for the reverse path (its far "neighbors" answer at normal
+  /// power). Honest nodes stay at 1.0.
+  void set_rx_range_multiplier(NodeId node, double multiplier);
+
+  /// Attaches a trace sink observing every transmission and per-receiver
+  /// outcome. Must outlive the medium; nullptr detaches.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
+  const MediumStats& stats() const { return stats_; }
+  const PhyParams& params() const { return params_; }
+  const topo::DiscGraph& graph() const { return graph_; }
+
+ private:
+  bool collisions_active() const {
+    return params_.collisions_enabled &&
+           simulator_.now() >= params_.collision_free_until;
+  }
+
+  sim::Simulator& simulator_;
+  const topo::DiscGraph& graph_;
+  PhyParams params_;
+  Rng loss_rng_;
+  std::vector<Radio*> radios_;
+  std::vector<double> rx_range_multiplier_;
+  TraceSink* trace_ = nullptr;
+  MediumStats stats_;
+};
+
+}  // namespace lw::phy

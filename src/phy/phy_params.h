@@ -1,0 +1,30 @@
+// Physical-layer parameters (Table 2 defaults).
+#pragma once
+
+#include "util/sim_time.h"
+
+namespace lw::phy {
+
+struct PhyParams {
+  /// Channel bandwidth in bits/second (Table 2: 40 kbps).
+  double bandwidth_bps = 40000.0;
+
+  /// Signal propagation speed in m/s.
+  double propagation_speed = 3.0e8;
+
+  /// Independent per-reception loss probability, on top of real collisions.
+  /// The coverage analysis models all channel loss as a constant P_C; this
+  /// knob lets experiments reproduce that model exactly.
+  double extra_loss_prob = 0.0;
+
+  /// When false, overlapping transmissions do not corrupt each other
+  /// (ideal channel; useful for protocol unit tests).
+  bool collisions_enabled = true;
+
+  /// Collisions are suppressed before this time. The paper assumes secure
+  /// neighbor discovery completes within T_ND of deployment; giving the
+  /// discovery window a clean channel models that assumption.
+  Time collision_free_until = 0.0;
+};
+
+}  // namespace lw::phy

@@ -1,0 +1,51 @@
+#include "phy/radio.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lw::phy {
+
+bool Radio::channel_busy(Time now) const {
+  return transmitting(now) || !ongoing_.empty() || now < nav_until_;
+}
+
+void Radio::finish_transmit() {
+  if (tx_done_sink_) tx_done_sink_();
+}
+
+void Radio::begin_receive(std::shared_ptr<const pkt::Packet> packet, Time now,
+                          Time end, bool collisions) {
+  Reception reception{std::move(packet), end, false};
+  if (collisions) {
+    // Half-duplex: a transmitting node cannot decode.
+    if (transmitting(now)) reception.corrupted = true;
+    // Any temporal overlap with another arriving frame corrupts both.
+    for (Reception& other : ongoing_) {
+      other.corrupted = true;
+      reception.corrupted = true;
+    }
+  }
+  ongoing_.push_back(std::move(reception));
+}
+
+RxOutcome Radio::finish_receive(const pkt::Packet& packet, bool random_loss) {
+  auto it = std::find_if(
+      ongoing_.begin(), ongoing_.end(),
+      [&](const Reception& r) { return r.packet->uid == packet.uid; });
+  assert(it != ongoing_.end() && "finish_receive without begin_receive");
+  bool corrupted = it->corrupted;
+  std::shared_ptr<const pkt::Packet> held = std::move(it->packet);
+  ongoing_.erase(it);
+
+  RxOutcome outcome = corrupted        ? RxOutcome::kCollision
+                      : random_loss    ? RxOutcome::kRandomLoss
+                                       : RxOutcome::kDelivered;
+  if (outcome == RxOutcome::kDelivered) {
+    if (frame_sink_) frame_sink_(*held);
+  } else if (drop_sink_) {
+    drop_sink_(*held, outcome);
+  }
+  return outcome;
+}
+
+}  // namespace lw::phy

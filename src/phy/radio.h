@@ -1,0 +1,95 @@
+// Per-node radio: reception state, collision detection, carrier sense.
+//
+// The radio is promiscuous: every successfully decoded frame is handed to
+// the frame sink regardless of its link-layer destination. Local monitoring
+// depends on this (guards overhear their neighbors' traffic). Half-duplex:
+// a node cannot decode while it is transmitting.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace lw::phy {
+
+/// Result of one reception attempt.
+enum class RxOutcome {
+  kDelivered,
+  kCollision,   // overlapped with another frame or with own transmission
+  kRandomLoss,  // independent loss (PhyParams::extra_loss_prob)
+};
+
+class Radio {
+ public:
+  using FrameSink = std::function<void(const pkt::Packet&)>;
+  using DropSink = std::function<void(const pkt::Packet&, RxOutcome)>;
+  using TxDoneSink = std::function<void()>;
+
+  explicit Radio(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  /// Upcall for successfully decoded frames (MAC/promiscuous tap).
+  void set_frame_sink(FrameSink sink) { frame_sink_ = std::move(sink); }
+  /// Optional upcall for failed receptions.
+  void set_drop_sink(DropSink sink) { drop_sink_ = std::move(sink); }
+  /// Upcall when a transmission this node started finishes (MAC dequeue).
+  void set_tx_done_sink(TxDoneSink sink) { tx_done_sink_ = std::move(sink); }
+
+  /// Carrier sense: any energy on the channel at this node right now
+  /// (own transmission or any ongoing reception, corrupted or not), or a
+  /// NAV reservation set by an overheard RTS/CTS.
+  bool channel_busy(Time now) const;
+
+  /// Virtual carrier sense: defer until `until` (kept at the max of all
+  /// overheard reservations).
+  void set_nav(Time until) { nav_until_ = std::max(nav_until_, until); }
+  Time nav_until() const { return nav_until_; }
+
+  /// True while this node is transmitting.
+  bool transmitting(Time now) const { return now < tx_busy_until_; }
+
+  // --- Medium-facing interface ---
+
+  /// A frame this node transmits occupies [now, until).
+  void begin_transmit(Time until) { tx_busy_until_ = until; }
+
+  /// Half-duplex enforcement when a transmission starts mid-reception:
+  /// everything currently arriving at this node is lost.
+  void corrupt_ongoing_receptions() {
+    for (Reception& r : ongoing_) r.corrupted = true;
+  }
+
+  /// Notifies the MAC that this node's transmission completed.
+  void finish_transmit();
+
+  /// A frame begins arriving; `collisions` selects whether overlap corrupts.
+  void begin_receive(std::shared_ptr<const pkt::Packet> packet, Time now,
+                     Time end, bool collisions);
+
+  /// The frame that started at `begin_receive` finishes. Delivers to the
+  /// frame sink on success; reports the outcome either way.
+  RxOutcome finish_receive(const pkt::Packet& packet, bool random_loss);
+
+ private:
+  struct Reception {
+    std::shared_ptr<const pkt::Packet> packet;
+    Time end;
+    bool corrupted = false;
+  };
+
+  NodeId id_;
+  FrameSink frame_sink_;
+  DropSink drop_sink_;
+  TxDoneSink tx_done_sink_;
+  Time tx_busy_until_ = kTimeZero;
+  Time nav_until_ = kTimeZero;
+  std::vector<Reception> ongoing_;
+};
+
+}  // namespace lw::phy

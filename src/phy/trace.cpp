@@ -1,0 +1,21 @@
+#include "phy/trace.h"
+
+#include <iomanip>
+
+namespace lw::phy {
+
+void TextTrace::line(Time now, const char* event, NodeId node,
+                     const pkt::Packet& packet) {
+  out_ << std::fixed << std::setprecision(6) << now << ' ' << event
+       << " node=" << node << ' ';
+  if (verbose_) {
+    out_ << packet.describe();
+  } else {
+    out_ << pkt::to_string(packet.type) << " origin=" << packet.origin
+         << " seq=" << packet.seq << " tx=" << packet.claimed_tx;
+    if (packet.link_dst != kInvalidNode) out_ << " dst=" << packet.link_dst;
+  }
+  out_ << '\n';
+}
+
+}  // namespace lw::phy

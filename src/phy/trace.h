@@ -1,0 +1,63 @@
+// Packet-event tracing.
+//
+// A TraceSink attached to the medium observes every transmission and every
+// per-receiver outcome — the debugging view an ns-2 trace file provides.
+// TextTrace renders one line per event; attach it to a file stream to get
+// a replayable log of a run.
+#pragma once
+
+#include <ostream>
+
+#include "packet/packet.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace lw::phy {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_transmit(Time now, const pkt::Packet& packet,
+                           NodeId sender) = 0;
+  virtual void on_deliver(Time now, const pkt::Packet& packet,
+                          NodeId receiver) = 0;
+  virtual void on_collision(Time now, const pkt::Packet& packet,
+                            NodeId receiver) = 0;
+  virtual void on_random_loss(Time now, const pkt::Packet& packet,
+                              NodeId receiver) = 0;
+};
+
+/// One line per event:  <time> <EVENT> node=<id> <packet description>
+class TextTrace final : public TraceSink {
+ public:
+  /// The stream must outlive the trace. Set `verbose` for full packet
+  /// descriptions instead of the compact type/flow form.
+  explicit TextTrace(std::ostream& out, bool verbose = false)
+      : out_(out), verbose_(verbose) {}
+
+  void on_transmit(Time now, const pkt::Packet& packet,
+                   NodeId sender) override {
+    line(now, "TX  ", sender, packet);
+  }
+  void on_deliver(Time now, const pkt::Packet& packet,
+                  NodeId receiver) override {
+    line(now, "RX  ", receiver, packet);
+  }
+  void on_collision(Time now, const pkt::Packet& packet,
+                    NodeId receiver) override {
+    line(now, "COLL", receiver, packet);
+  }
+  void on_random_loss(Time now, const pkt::Packet& packet,
+                      NodeId receiver) override {
+    line(now, "LOSS", receiver, packet);
+  }
+
+ private:
+  void line(Time now, const char* event, NodeId node,
+            const pkt::Packet& packet);
+
+  std::ostream& out_;
+  bool verbose_;
+};
+
+}  // namespace lw::phy

@@ -1,0 +1,56 @@
+#include "routing/route_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lw::routing {
+
+bool RouteCache::insert(std::vector<NodeId> path, Time now) {
+  if (path.size() < 2) throw std::invalid_argument("route needs >= 2 nodes");
+  const NodeId dst = path.back();
+  auto it = routes_.find(dst);
+  if (it != routes_.end() && it->second.expires > now &&
+      it->second.path.size() <= path.size()) {
+    return false;  // existing live route is at least as short
+  }
+  Route route{std::move(path), now, now + route_timeout_};
+  routes_[dst] = std::move(route);
+  return true;
+}
+
+const Route* RouteCache::lookup(NodeId dst, Time now) {
+  auto it = routes_.find(dst);
+  if (it == routes_.end()) return nullptr;
+  if (it->second.expires <= now) {
+    routes_.erase(it);
+    return nullptr;
+  }
+  it->second.expires = now + route_timeout_;  // refresh on use
+  return &it->second;
+}
+
+const Route* RouteCache::peek(NodeId dst, Time now) {
+  auto it = routes_.find(dst);
+  if (it == routes_.end()) return nullptr;
+  if (it->second.expires <= now) {
+    routes_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::size_t RouteCache::evict_containing(NodeId node) {
+  std::size_t evicted = 0;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    const auto& path = it->second.path;
+    if (std::find(path.begin(), path.end(), node) != path.end()) {
+      it = routes_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace lw::routing

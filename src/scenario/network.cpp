@@ -1,0 +1,253 @@
+#include "scenario/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topology/field.h"
+#include "util/logging.h"
+
+namespace lw::scenario {
+namespace {
+
+/// A relay attacker needs two honest neighbors that cannot hear each other.
+bool has_relay_victims(const topo::DiscGraph& graph, NodeId x,
+                       const std::vector<NodeId>& malicious) {
+  const auto& neighbors = graph.neighbors(x);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+      NodeId a = neighbors[i];
+      NodeId b = neighbors[j];
+      if (graph.is_neighbor(a, b)) continue;
+      if (std::find(malicious.begin(), malicious.end(), a) != malicious.end())
+        continue;
+      if (std::find(malicious.begin(), malicious.end(), b) != malicious.end())
+        continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Network::Network(ExperimentConfig config, MetricsFactory metrics)
+    : config_(std::move(config)), keys_(config_.key_master_secret) {
+  config_.finalize();
+  RngFactory rngs(config_.seed);
+
+  graph_ = std::make_unique<topo::DiscGraph>(build_topology(rngs));
+  medium_ = std::make_unique<phy::Medium>(simulator_, *graph_, config_.phy,
+                                          rngs.stream("phy-loss"));
+  metrics_ = metrics ? metrics(simulator_, *graph_, malicious_ids_)
+                     : std::make_unique<stats::MetricsCollector>(
+                           simulator_, *graph_, malicious_ids_);
+  coordinator_ = std::make_unique<attack::WormholeCoordinator>(
+      simulator_, config_.attack);
+
+  const std::size_t total = config_.node_count + config_.late_joiners;
+  nodes_.reserve(total);
+  for (NodeId id = 0; id < total; ++id) {
+    const bool malicious =
+        std::find(malicious_ids_.begin(), malicious_ids_.end(), id) !=
+        malicious_ids_.end();
+    nodes_.push_back(std::make_unique<Node>(
+        id, config_, simulator_, *medium_, keys_, factory_, metrics_.get(),
+        rngs.stream("node", id), malicious, coordinator_.get()));
+    // Geographical leashes need each node's own (GPS-style) location.
+    const topo::Position& at = graph_->position(id);
+    nodes_.back()->leash().set_own_position(at.x, at.y);
+  }
+  configure_attack();
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    nodes_[id]->start(*graph_);
+  }
+  for (std::size_t j = 0; j < config_.late_joiners; ++j) {
+    Node* joiner = nodes_[config_.node_count + j].get();
+    simulator_.schedule_at(
+        config_.late_join_time +
+            static_cast<double>(j) * config_.late_join_stagger,
+        [joiner] { joiner->start_late(); });
+  }
+}
+
+Network::~Network() = default;
+
+/// True if the subgraph induced by nodes [0, count) is connected.
+static bool initial_subgraph_connected(const topo::DiscGraph& graph,
+                                       std::size_t count) {
+  if (count == 0) return true;
+  std::vector<bool> seen(graph.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    NodeId current = stack.back();
+    stack.pop_back();
+    for (NodeId next : graph.neighbors(current)) {
+      if (next >= count || seen[next]) continue;
+      seen[next] = true;
+      ++visited;
+      stack.push_back(next);
+    }
+  }
+  return visited == count;
+}
+
+topo::DiscGraph Network::build_topology(const RngFactory& rngs) {
+  if (config_.late_joiners > 0 && config_.oracle_discovery) {
+    throw std::invalid_argument(
+        "late joiners require the real discovery protocol (oracle tables "
+        "would know undeployed nodes)");
+  }
+  const std::size_t total = config_.node_count + config_.late_joiners;
+
+  if (config_.positions) {
+    if (config_.positions->size() != total) {
+      throw std::invalid_argument(
+          "explicit positions must cover node_count + late_joiners nodes");
+    }
+    topo::DiscGraph graph(*config_.positions, config_.radio_range);
+    if (!config_.malicious_nodes.empty()) {
+      for (NodeId id : config_.malicious_nodes) {
+        if (id >= total) throw std::invalid_argument("malicious id OOB");
+      }
+      malicious_ids_ = config_.malicious_nodes;
+    } else if (config_.malicious_count > 0) {
+      Rng pick_rng = rngs.stream("malicious", 0);
+      malicious_ids_ = pick_malicious(graph, pick_rng,
+                                      config_.malicious_count);
+      if (malicious_ids_.empty()) {
+        throw std::runtime_error(
+            "explicit topology cannot satisfy the malicious-node "
+            "constraints");
+      }
+    }
+    return graph;
+  }
+
+  const double side = config_.field_side.value_or(topo::field_side_for_density(
+      total, config_.radio_range, config_.target_neighbors));
+  const topo::Field field{side, side};
+
+  for (int attempt = 0; attempt < config_.max_topology_retries; ++attempt) {
+    Rng place_rng = rngs.stream("topology", static_cast<std::uint64_t>(attempt));
+    topo::DiscGraph graph(topo::place_uniform(field, total, place_rng),
+                          config_.radio_range);
+    if (!graph.connected()) continue;
+    // The network must also function before the joiners arrive.
+    if (!initial_subgraph_connected(graph, config_.node_count)) continue;
+
+    if (!config_.malicious_nodes.empty()) {
+      for (NodeId id : config_.malicious_nodes) {
+        if (id >= total) throw std::invalid_argument("malicious id OOB");
+      }
+      malicious_ids_ = config_.malicious_nodes;
+      return graph;
+    }
+
+    Rng pick_rng = rngs.stream("malicious", static_cast<std::uint64_t>(attempt));
+    std::vector<NodeId> malicious =
+        pick_malicious(graph, pick_rng, config_.malicious_count);
+    if (config_.malicious_count > 0 && malicious.empty()) continue;
+
+    malicious_ids_ = std::move(malicious);
+    return graph;
+  }
+  throw std::runtime_error(
+      "could not build a connected topology satisfying the malicious-node "
+      "constraints; relax the configuration");
+}
+
+std::vector<NodeId> Network::pick_malicious(const topo::DiscGraph& graph,
+                                            Rng& rng,
+                                            std::size_t count) const {
+  if (count == 0) return {};
+  if (count >= graph.size()) {
+    throw std::invalid_argument("more malicious nodes than nodes");
+  }
+  constexpr int kTrials = 500;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<NodeId> picked;
+    while (picked.size() < count) {
+      // Attackers come from the initial deployment (insiders from day one).
+      NodeId candidate =
+          static_cast<NodeId>(rng.uniform_int(0, config_.node_count - 1));
+      if (std::find(picked.begin(), picked.end(), candidate) == picked.end()) {
+        picked.push_back(candidate);
+      }
+    }
+    bool separated = true;
+    for (std::size_t i = 0; i < picked.size() && separated; ++i) {
+      for (std::size_t j = i + 1; j < picked.size(); ++j) {
+        auto hops = graph.hop_distance(picked[i], picked[j]);
+        if (!hops || *hops < config_.min_malicious_hop_separation) {
+          separated = false;
+          break;
+        }
+      }
+    }
+    if (!separated) continue;
+    if (config_.attack.mode == attack::WormholeMode::kRelay) {
+      const bool viable =
+          std::all_of(picked.begin(), picked.end(), [&](NodeId x) {
+            return has_relay_victims(graph, x, picked);
+          });
+      if (!viable) continue;
+    }
+    return picked;
+  }
+  return {};
+}
+
+void Network::configure_attack() {
+  for (std::size_t i = 0; i < malicious_ids_.size(); ++i) {
+    for (std::size_t j = i + 1; j < malicious_ids_.size(); ++j) {
+      const NodeId a = malicious_ids_[i];
+      const NodeId b = malicious_ids_[j];
+      coordinator_->set_hop_distance(a, b,
+                                     graph_->hop_distance(a, b).value_or(1));
+    }
+  }
+
+  if (config_.attack.mode == attack::WormholeMode::kRelay) {
+    for (NodeId x : malicious_ids_) {
+      // Pick the farthest-apart non-adjacent honest neighbor pair: the most
+      // convincing fake link.
+      const auto& neighbors = graph_->neighbors(x);
+      NodeId best_a = kInvalidNode;
+      NodeId best_b = kInvalidNode;
+      double best_gap = -1.0;
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+          NodeId a = neighbors[i];
+          NodeId b = neighbors[j];
+          if (graph_->is_neighbor(a, b)) continue;
+          if (metrics_->is_malicious(a) || metrics_->is_malicious(b)) continue;
+          const double gap = graph_->distance(a, b);
+          if (gap > best_gap) {
+            best_gap = gap;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a != kInvalidNode) {
+        nodes_[x]->malicious_agent()->set_relay_victims(best_a, best_b);
+        LW_INFO << "relay attacker " << x << " victims " << best_a << " / "
+                << best_b;
+      }
+    }
+  }
+
+  if (config_.attack.mode == attack::WormholeMode::kHighPower) {
+    for (NodeId x : malicious_ids_) {
+      medium_->set_rx_range_multiplier(x, config_.attack.high_power_multiplier);
+    }
+  }
+}
+
+void Network::run() { run_until(config_.duration); }
+
+void Network::run_until(Time t) { simulator_.run_until(t); }
+
+}  // namespace lw::scenario

@@ -1,0 +1,71 @@
+// Builds and runs one complete simulated deployment.
+//
+// Responsible for everything a node cannot do for itself: placing the
+// field (with retries until it is connected and the malicious nodes are
+// far enough apart), wiring medium/keys/metrics, selecting the attackers,
+// and driving the clock.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "attack/coordinator.h"
+#include "phy/medium.h"
+#include "scenario/node.h"
+#include "sim/simulator.h"
+#include "stats/metrics.h"
+#include "topology/disc_graph.h"
+
+namespace lw::scenario {
+
+class Network {
+ public:
+  /// Builds the metrics collector; overridable so tools can subclass
+  /// MetricsCollector for richer observability.
+  using MetricsFactory = std::function<std::unique_ptr<stats::MetricsCollector>(
+      const sim::Simulator&, const topo::DiscGraph&, std::vector<NodeId>)>;
+
+  explicit Network(ExperimentConfig config, MetricsFactory metrics = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Runs to the configured duration.
+  void run();
+
+  /// Advances the clock to `t` (monotonic across calls).
+  void run_until(Time t);
+
+  const ExperimentConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return simulator_; }
+  const topo::DiscGraph& graph() const { return *graph_; }
+  phy::Medium& medium() { return *medium_; }
+  stats::MetricsCollector& metrics() { return *metrics_; }
+  const std::vector<NodeId>& malicious_ids() const { return malicious_ids_; }
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Ground-truth average degree of the built topology.
+  double average_degree() const { return graph_->average_degree(); }
+
+ private:
+  topo::DiscGraph build_topology(const RngFactory& rngs);
+  std::vector<NodeId> pick_malicious(const topo::DiscGraph& graph, Rng& rng,
+                                     std::size_t count) const;
+  void configure_attack();
+
+  ExperimentConfig config_;
+  sim::Simulator simulator_;
+  crypto::KeyManager keys_;
+  pkt::PacketFactory factory_;
+  std::unique_ptr<topo::DiscGraph> graph_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::vector<NodeId> malicious_ids_;
+  std::unique_ptr<stats::MetricsCollector> metrics_;
+  std::unique_ptr<attack::WormholeCoordinator> coordinator_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace lw::scenario

@@ -1,0 +1,121 @@
+#include "scenario/node.h"
+#include "util/logging.h"
+
+namespace lw::scenario {
+
+Node::Node(NodeId id, const ExperimentConfig& config,
+           sim::Simulator& simulator, phy::Medium& medium,
+           const crypto::KeyManager& keys, pkt::PacketFactory& factory,
+           stats::MetricsCollector* metrics, Rng rng, bool malicious,
+           attack::WormholeCoordinator* coordinator)
+    : id_(id),
+      config_(config),
+      simulator_(simulator),
+      keys_(keys),
+      factory_(factory),
+      rng_(rng),
+      radio_(id),
+      mac_(simulator, medium, radio_, Rng(rng_.engine()()), config.mac),
+      discovery_(*this, table_, config.discovery),
+      join_(*this, table_, config.join),
+      routing_(*this, table_, config.routing, metrics),
+      traffic_(*this, routing_, config.node_count, config.traffic),
+      leash_(config.leash) {
+  if (malicious) {
+    malicious_agent_ = std::make_unique<attack::MaliciousAgent>(
+        *this, table_, *coordinator, metrics);
+  } else {
+    monitor_ = std::make_unique<lite::LocalMonitor>(
+        *this, table_, routing_, config.liteworp, metrics);
+  }
+  medium.attach(&radio_);
+  mac_.set_upcall([this](const pkt::Packet& p) { handle_frame(p); });
+}
+
+Node::~Node() = default;
+
+void Node::start(const topo::DiscGraph& graph) {
+  deployed_ = true;
+  if (config_.oracle_discovery) {
+    discovery_.bootstrap_from_oracle(graph);
+  } else {
+    discovery_.start();
+  }
+  if (monitor_) monitor_->start();
+  traffic_.start();
+}
+
+void Node::start_late() {
+  deployed_ = true;
+  if (monitor_) monitor_->start();
+  join_.start_join();
+  traffic_.start_at(simulator_.now() + config_.join.settle_time + 4.0);
+}
+
+void Node::send(pkt::Packet packet, mac::SendOptions options) {
+  if (packet.claimed_tx == kInvalidNode) packet.claimed_tx = id_;
+  // A node is a guard of its own outgoing links: feed the monitor with the
+  // control traffic we transmit so the fabrication/drop checks have our
+  // transmit records.
+  if (monitor_ && pkt::is_watched_control(packet.type)) {
+    monitor_->on_overhear(packet);
+  }
+  mac_.send(std::move(packet), options);
+}
+
+void Node::handle_frame(const pkt::Packet& packet) {
+  if (!deployed_) return;  // not in the field yet
+
+  // Byzantine nodes act first; a consumed frame never reaches the honest
+  // stack.
+  if (malicious_agent_ && malicious_agent_->intercept(packet)) return;
+
+  // Honest promiscuous tap: guards watch everything they can decode.
+  if (monitor_) monitor_->on_overhear(packet);
+
+  switch (packet.type) {
+    case pkt::PacketType::kHello:
+    case pkt::PacketType::kHelloReply:
+    case pkt::PacketType::kNeighborList:
+      discovery_.handle(packet);
+      return;
+
+    case pkt::PacketType::kAlert:
+      if (monitor_) monitor_->handle_alert(packet);
+      return;
+
+    case pkt::PacketType::kRouteRequest:
+    case pkt::PacketType::kRouteReply:
+    case pkt::PacketType::kData:
+    case pkt::PacketType::kRouteError: {
+      // Only frames addressed to us (or broadcast) are processed further.
+      if (packet.link_dst != kInvalidNode && packet.link_dst != id_) return;
+      // Comparator defense: temporal leash (no-op unless enabled).
+      if (!leash_.check(packet, simulator_.now())) return;
+      if (config_.liteworp.enabled && !malicious_agent_) {
+        const nbr::Admission verdict = nbr::check_frame(table_, packet);
+        admission_stats_.record(verdict);
+        if (verdict != nbr::Admission::kAccept) {
+          LW_DEBUG << "node " << id_ << ": rejected ("
+                   << nbr::to_string(verdict) << ") " << packet.describe();
+          return;
+        }
+      }
+      routing_.handle(packet);
+      return;
+    }
+
+    case pkt::PacketType::kJoinHello:
+    case pkt::PacketType::kJoinChallenge:
+    case pkt::PacketType::kJoinResponse:
+      join_.handle(packet);
+      return;
+
+    case pkt::PacketType::kAck:
+    case pkt::PacketType::kRts:
+    case pkt::PacketType::kCts:
+      return;  // consumed inside the MAC; never reaches the node
+  }
+}
+
+}  // namespace lw::scenario

@@ -1,0 +1,99 @@
+// Concrete node: the full protocol stack wired together.
+//
+// Owns the radio, MAC, neighbor state, routing, and optionally either a
+// LITEWORP monitor (honest nodes) or a malicious agent (attackers), and
+// implements the frame dispatch:
+//
+//   radio decode -> [malicious intercept] -> [monitor tap] ->
+//   [admission checks] -> protocol handler (discovery / alert / routing)
+#pragma once
+
+#include <memory>
+
+#include "attack/malicious_agent.h"
+#include "leash/leash.h"
+#include "liteworp/monitor.h"
+#include "neighbor/admission.h"
+#include "neighbor/discovery.h"
+#include "neighbor/dynamic_join.h"
+#include "node/node_env.h"
+#include "routing/routing.h"
+#include "routing/traffic.h"
+#include "scenario/config.h"
+#include "stats/metrics.h"
+
+namespace lw::scenario {
+
+class Node final : public node::NodeEnv {
+ public:
+  Node(NodeId id, const ExperimentConfig& config, sim::Simulator& simulator,
+       phy::Medium& medium, const crypto::KeyManager& keys,
+       pkt::PacketFactory& factory, stats::MetricsCollector* metrics,
+       Rng rng, bool malicious, attack::WormholeCoordinator* coordinator);
+
+  ~Node() override;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Starts discovery (or oracle-bootstraps it) and the traffic generator.
+  void start(const topo::DiscGraph& graph);
+
+  /// Late deployment: the node joins a live network through the dynamic
+  /// challenge-response protocol instead of the deployment-time discovery;
+  /// its own traffic begins once the join settles.
+  void start_late();
+
+  bool deployed() const { return deployed_; }
+
+  // NodeEnv
+  NodeId id() const override { return id_; }
+  sim::Simulator& simulator() override { return simulator_; }
+  pkt::PacketFactory& packet_factory() override { return factory_; }
+  const crypto::KeyManager& keys() const override { return keys_; }
+  Rng& rng() override { return rng_; }
+  void send(pkt::Packet packet, mac::SendOptions options = {}) override;
+  std::size_t mac_queue_depth() const override { return mac_.queue_depth(); }
+
+  bool malicious() const { return malicious_agent_ != nullptr; }
+  phy::Radio& radio() { return radio_; }
+  nbr::NeighborTable& table() { return table_; }
+  const nbr::NeighborTable& table() const { return table_; }
+  nbr::DiscoveryAgent& discovery() { return discovery_; }
+  nbr::DynamicJoinAgent& join_agent() { return join_; }
+  routing::OnDemandRouting& routing() { return routing_; }
+  routing::TrafficGenerator& traffic() { return traffic_; }
+  lite::LocalMonitor* monitor() { return monitor_.get(); }
+  const lite::LocalMonitor* monitor() const { return monitor_.get(); }
+  attack::MaliciousAgent* malicious_agent() { return malicious_agent_.get(); }
+  const nbr::AdmissionStats& admission_stats() const {
+    return admission_stats_;
+  }
+  const mac::MacStats& mac_stats() const { return mac_.stats(); }
+  const leash::LeashStats& leash_stats() const { return leash_.stats(); }
+  leash::LeashChecker& leash() { return leash_; }
+
+ private:
+  void handle_frame(const pkt::Packet& packet);
+
+  NodeId id_;
+  const ExperimentConfig& config_;
+  sim::Simulator& simulator_;
+  const crypto::KeyManager& keys_;
+  pkt::PacketFactory& factory_;
+  Rng rng_;
+
+  phy::Radio radio_;
+  mac::CsmaMac mac_;
+  nbr::NeighborTable table_;
+  nbr::DiscoveryAgent discovery_;
+  nbr::DynamicJoinAgent join_;
+  routing::OnDemandRouting routing_;
+  routing::TrafficGenerator traffic_;
+  bool deployed_ = false;
+  leash::LeashChecker leash_;
+  std::unique_ptr<lite::LocalMonitor> monitor_;
+  std::unique_ptr<attack::MaliciousAgent> malicious_agent_;
+  nbr::AdmissionStats admission_stats_;
+};
+
+}  // namespace lw::scenario

@@ -1,0 +1,138 @@
+#include "scenario/runner.h"
+#include <cmath>
+
+namespace lw::scenario {
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  Network network(config);
+  network.run();
+
+  const stats::MetricsCollector& m = network.metrics();
+  const phy::MediumStats& phy = network.medium().stats();
+
+  RunResult r;
+  r.seed = config.seed;
+  r.average_degree = network.average_degree();
+  r.data_originated = m.data_originated;
+  r.data_delivered = m.data_delivered;
+  r.data_dropped_malicious = m.data_dropped_malicious;
+  r.data_dropped_no_route = m.data_dropped_no_route;
+  r.discoveries = m.discoveries;
+  r.routes_established = m.routes_established;
+  r.wormhole_routes = m.wormhole_routes;
+  r.routes_via_malicious = m.routes_via_malicious;
+  r.wormhole_replays = m.wormhole_replays;
+  r.suspicions_fabrication = m.suspicions_fabrication;
+  r.suspicions_drop = m.suspicions_drop;
+  r.false_suspicions = m.false_suspicions;
+  r.local_detections = m.local_detections;
+  r.alerts_sent = m.alerts_sent;
+  r.isolation_events = m.isolation_events;
+  r.false_isolations = m.false_isolations;
+  r.malicious_count = network.malicious_ids().size();
+  r.malicious_isolated = m.malicious_isolated_count();
+  r.all_isolated = m.all_malicious_isolated();
+  r.isolation_latency =
+      m.isolation_latency(network.config().attack.start_time);
+  r.frames_transmitted = phy.frames_transmitted;
+  r.frames_delivered = phy.frames_delivered;
+  r.frames_collided = phy.frames_collided;
+  r.mean_delivery_latency = m.mean_delivery_latency();
+  r.p95_delivery_latency = m.latency_percentile(95.0);
+  r.duration = network.config().duration;
+  r.attack_start = network.config().attack.start_time;
+  r.drop_times = m.drop_times;
+  r.wormhole_route_times = m.wormhole_route_times;
+  return r;
+}
+
+std::vector<SeriesPoint> cumulative_series(const std::vector<Time>& times,
+                                           Time horizon, Time dt) {
+  std::vector<SeriesPoint> series;
+  std::size_t index = 0;
+  for (Time t = 0.0; t <= horizon + dt / 2; t += dt) {
+    while (index < times.size() && times[index] <= t) ++index;
+    series.push_back({t, static_cast<double>(index)});
+  }
+  return series;
+}
+
+namespace {
+
+/// Welford online mean/variance; reports the standard error of the mean.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  double mean() const { return mean_; }
+  double sem() const {
+    if (n_ < 2) return 0.0;
+    const double variance = m2_ / static_cast<double>(n_ - 1);
+    return std::sqrt(variance / static_cast<double>(n_));
+  }
+
+ private:
+  int n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace
+
+Aggregate average_runs(ExperimentConfig config, int runs,
+                       std::uint64_t base_seed) {
+  Aggregate agg;
+  agg.runs = runs;
+  double latency_sum = 0.0;
+  int latency_runs = 0;
+  RunningStat dropped;
+  RunningStat wormhole_fraction;
+  RunningStat detected;
+
+  for (int i = 0; i < runs; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    RunResult r = run_experiment(config);
+    agg.data_originated += static_cast<double>(r.data_originated);
+    agg.data_dropped_malicious +=
+        static_cast<double>(r.data_dropped_malicious);
+    dropped.add(r.fraction_dropped());
+    agg.routes_established += static_cast<double>(r.routes_established);
+    agg.wormhole_routes += static_cast<double>(r.wormhole_routes);
+    wormhole_fraction.add(r.fraction_wormhole_routes());
+    agg.false_isolations += static_cast<double>(r.false_isolations);
+    if (r.malicious_count > 0) {
+      detected.add(static_cast<double>(r.malicious_isolated) /
+                   static_cast<double>(r.malicious_count));
+    } else {
+      detected.add(1.0);  // nothing to detect
+    }
+    if (r.isolation_latency) {
+      latency_sum += *r.isolation_latency;
+      ++latency_runs;
+      ++agg.runs_fully_isolated;
+    }
+  }
+
+  const double n = static_cast<double>(runs);
+  agg.data_originated /= n;
+  agg.data_dropped_malicious /= n;
+  agg.fraction_dropped = dropped.mean();
+  agg.fraction_dropped_sem = dropped.sem();
+  agg.routes_established /= n;
+  agg.wormhole_routes /= n;
+  agg.fraction_wormhole_routes = wormhole_fraction.mean();
+  agg.fraction_wormhole_routes_sem = wormhole_fraction.sem();
+  agg.false_isolations /= n;
+  agg.detection_probability = detected.mean();
+  agg.detection_probability_sem = detected.sem();
+  if (latency_runs > 0) {
+    agg.mean_isolation_latency = latency_sum / latency_runs;
+  }
+  return agg;
+}
+
+}  // namespace lw::scenario

@@ -1,0 +1,109 @@
+// Experiment runner: one run -> RunResult; many seeds -> Aggregate.
+//
+// The benches that regenerate the paper's figures are thin loops over
+// these helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "scenario/network.h"
+
+namespace lw::scenario {
+
+/// Scalar outputs of one run (Section 6 output parameters).
+struct RunResult {
+  std::uint64_t seed = 0;
+  double average_degree = 0.0;
+
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped_malicious = 0;
+  std::uint64_t data_dropped_no_route = 0;
+  std::uint64_t discoveries = 0;
+  std::uint64_t routes_established = 0;
+  std::uint64_t wormhole_routes = 0;
+  std::uint64_t routes_via_malicious = 0;
+  std::uint64_t wormhole_replays = 0;
+
+  std::uint64_t suspicions_fabrication = 0;
+  std::uint64_t suspicions_drop = 0;
+  std::uint64_t false_suspicions = 0;
+  std::uint64_t local_detections = 0;
+  std::uint64_t alerts_sent = 0;
+  std::uint64_t isolation_events = 0;
+  std::uint64_t false_isolations = 0;
+
+  std::size_t malicious_count = 0;
+  std::size_t malicious_isolated = 0;
+  bool all_isolated = false;
+  std::optional<Duration> isolation_latency;
+
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_collided = 0;
+
+  double mean_delivery_latency = 0.0;
+  double p95_delivery_latency = 0.0;
+
+  Time duration = 0.0;
+  Time attack_start = 0.0;
+
+  /// Times of each wormhole-dropped data packet (Figure 8 series).
+  std::vector<Time> drop_times;
+  /// Times of each wormhole route establishment.
+  std::vector<Time> wormhole_route_times;
+
+  double fraction_dropped() const {
+    return data_originated == 0
+               ? 0.0
+               : static_cast<double>(data_dropped_malicious) /
+                     static_cast<double>(data_originated);
+  }
+  double fraction_wormhole_routes() const {
+    return routes_established == 0
+               ? 0.0
+               : static_cast<double>(wormhole_routes) /
+                     static_cast<double>(routes_established);
+  }
+};
+
+/// Builds a network from `config`, runs it to completion, extracts results.
+RunResult run_experiment(const ExperimentConfig& config);
+
+/// Point of a time series.
+struct SeriesPoint {
+  Time t = 0.0;
+  double value = 0.0;
+};
+
+/// Cumulative count of `times` sampled every `dt` over [0, horizon].
+std::vector<SeriesPoint> cumulative_series(const std::vector<Time>& times,
+                                           Time horizon, Time dt);
+
+/// Seed-averaged scalar outputs with standard errors of the means.
+struct Aggregate {
+  int runs = 0;
+  double data_originated = 0.0;
+  double data_dropped_malicious = 0.0;
+  double fraction_dropped = 0.0;
+  double fraction_dropped_sem = 0.0;
+  double routes_established = 0.0;
+  double wormhole_routes = 0.0;
+  double fraction_wormhole_routes = 0.0;
+  double fraction_wormhole_routes_sem = 0.0;
+  double false_isolations = 0.0;
+  /// Fraction of malicious nodes completely isolated, averaged over runs.
+  double detection_probability = 0.0;
+  double detection_probability_sem = 0.0;
+  /// Mean isolation latency over runs that reached complete isolation.
+  std::optional<Duration> mean_isolation_latency;
+  int runs_fully_isolated = 0;
+};
+
+/// Runs `runs` replicas with seeds base_seed, base_seed+1, ... and averages.
+Aggregate average_runs(ExperimentConfig config, int runs,
+                       std::uint64_t base_seed);
+
+}  // namespace lw::scenario

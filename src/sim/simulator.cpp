@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace lw::sim {
+
+void Simulator::push(Time when, std::function<void()> action,
+                     std::shared_ptr<bool> cancelled) {
+  queue_.push(Event{when, next_seq_++, std::move(action), std::move(cancelled)});
+}
+
+void Simulator::schedule(Duration delay, std::function<void()> action) {
+  if (delay < 0) throw std::invalid_argument("negative schedule delay");
+  push(now_ + delay, std::move(action), nullptr);
+}
+
+void Simulator::schedule_at(Time when, std::function<void()> action) {
+  if (when < now_) throw std::invalid_argument("schedule_at in the past");
+  push(when, std::move(action), nullptr);
+}
+
+EventHandle Simulator::schedule_cancellable(Duration delay,
+                                            std::function<void()> action) {
+  if (delay < 0) throw std::invalid_argument("negative schedule delay");
+  auto flag = std::make_shared<bool>(false);
+  push(now_ + delay, std::move(action), flag);
+  return EventHandle(std::move(flag));
+}
+
+std::uint64_t Simulator::run_until(Time horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because pop() immediately removes the moved-from slot.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(event.when >= now_ && "event queue went backwards");
+    now_ = event.when;
+    if (event.cancelled && *event.cancelled) continue;
+    event.action();
+    ++count;
+    ++executed_;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return count;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    if (event.cancelled && *event.cancelled) continue;
+    event.action();
+    ++count;
+    ++executed_;
+  }
+  return count;
+}
+
+}  // namespace lw::sim

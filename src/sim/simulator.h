@@ -1,0 +1,95 @@
+// Discrete-event simulation engine (the ns-2 substitute).
+//
+// Single-threaded event queue ordered by (time, insertion sequence). The
+// insertion-sequence tiebreak makes simultaneous events execute in schedule
+// order, which keeps runs deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace lw::sim {
+
+/// Handle that can cancel a scheduled event. Cancellation is lazy: the
+/// event stays in the queue but its action is skipped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to a scheduled (possibly executed) event.
+  bool valid() const { return cancelled_ != nullptr; }
+
+  /// Prevents the action from running if it has not run yet.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules action at now() + delay. delay must be >= 0.
+  void schedule(Duration delay, std::function<void()> action);
+
+  /// Schedules action at an absolute time >= now().
+  void schedule_at(Time when, std::function<void()> action);
+
+  /// Like schedule(), but returns a handle that can cancel the event.
+  EventHandle schedule_cancellable(Duration delay,
+                                   std::function<void()> action);
+
+  /// Runs events until the queue is empty or the horizon is passed.
+  /// Events with timestamp > horizon remain queued (the clock stops at the
+  /// horizon). Returns the number of events executed.
+  std::uint64_t run_until(Time horizon);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run_all();
+
+  /// Number of events currently queued (including cancelled ones).
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> action;
+    std::shared_ptr<bool> cancelled;  // null when not cancellable
+
+    // Min-heap: earliest time first, then earliest insertion.
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void push(Time when, std::function<void()> action,
+            std::shared_ptr<bool> cancelled);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace lw::sim

@@ -1,0 +1,165 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+
+namespace lw::stats {
+
+MetricsCollector::MetricsCollector(const sim::Simulator& simulator,
+                                   const topo::DiscGraph& graph,
+                                   std::vector<NodeId> malicious)
+    : simulator_(simulator),
+      graph_(graph),
+      malicious_(std::move(malicious)),
+      malicious_set_(malicious_.begin(), malicious_.end()) {
+  for (NodeId m : malicious_) {
+    IsolationRecord record;
+    for (NodeId neighbor : graph_.neighbors(m)) {
+      if (malicious_set_.count(neighbor) == 0) record.required.insert(neighbor);
+    }
+    isolation_.emplace(m, std::move(record));
+  }
+}
+
+void MetricsCollector::on_data_originated(NodeId, const pkt::Packet&) {
+  ++data_originated;
+}
+
+void MetricsCollector::on_data_delivered(NodeId, const pkt::Packet& packet) {
+  ++data_delivered;
+  delivery_latencies.push_back(simulator_.now() - packet.created_at);
+}
+
+double MetricsCollector::mean_delivery_latency() const {
+  if (delivery_latencies.empty()) return 0.0;
+  double sum = 0.0;
+  for (Duration latency : delivery_latencies) sum += latency;
+  return sum / static_cast<double>(delivery_latencies.size());
+}
+
+double MetricsCollector::latency_percentile(double p) const {
+  if (delivery_latencies.empty()) return 0.0;
+  std::vector<Duration> sorted = delivery_latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto index = static_cast<std::size_t>(rank);
+  if (index + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(index);
+  return sorted[index] * (1.0 - frac) + sorted[index + 1] * frac;
+}
+
+void MetricsCollector::on_data_dropped_no_route(NodeId) {
+  ++data_dropped_no_route;
+}
+
+void MetricsCollector::on_route_established(NodeId,
+                                            const std::vector<NodeId>& path) {
+  ++routes_established;
+  route_times.push_back(simulator_.now());
+
+  bool fake_link = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!graph_.is_neighbor(path[i], path[i + 1])) {
+      fake_link = true;
+      break;
+    }
+  }
+  const bool via_malicious =
+      std::any_of(path.begin(), path.end(),
+                  [this](NodeId n) { return is_malicious(n); });
+  const bool transit =
+      path.size() > 2 &&
+      std::any_of(path.begin() + 1, path.end() - 1,
+                  [this](NodeId n) { return is_malicious(n); });
+  if (fake_link) {
+    ++wormhole_routes;
+    wormhole_route_times.push_back(simulator_.now());
+  }
+  if (via_malicious) ++routes_via_malicious;
+  if (transit) ++routes_via_malicious_transit;
+}
+
+void MetricsCollector::on_discovery_started(NodeId, NodeId) { ++discoveries; }
+
+void MetricsCollector::on_suspicion(NodeId, NodeId suspect,
+                                    lite::Suspicion kind) {
+  if (kind == lite::Suspicion::kFabrication) {
+    ++suspicions_fabrication;
+  } else {
+    ++suspicions_drop;
+  }
+  if (!is_malicious(suspect)) ++false_suspicions;
+}
+
+void MetricsCollector::on_local_detection(NodeId guard, NodeId suspect) {
+  ++local_detections;
+  if (!is_malicious(suspect)) {
+    // One guard's noise conviction: it severs one link. Only a
+    // gamma-confirmed isolation (on_isolation) counts as the network
+    // falsely ISOLATING an honest node.
+    ++false_local_detections;
+    return;
+  }
+  IsolationRecord& record = isolation_.at(suspect);
+  if (!record.first_detection) record.first_detection = simulator_.now();
+  note_revocation(guard, suspect);
+}
+
+void MetricsCollector::on_alert_sent(NodeId, NodeId) { ++alerts_sent; }
+
+void MetricsCollector::on_isolation(NodeId node, NodeId suspect, int) {
+  ++isolation_events;
+  if (!is_malicious(suspect)) {
+    ++false_isolations;
+    return;
+  }
+  note_revocation(node, suspect);
+}
+
+void MetricsCollector::note_revocation(NodeId by, NodeId suspect) {
+  IsolationRecord& record = isolation_.at(suspect);
+  record.revoked_by.emplace(by, simulator_.now());
+  if (record.complete) return;
+  const bool done = std::all_of(
+      record.required.begin(), record.required.end(),
+      [&record](NodeId n) { return record.revoked_by.count(n) != 0; });
+  if (done) record.complete = simulator_.now();
+}
+
+void MetricsCollector::on_data_dropped(NodeId, const pkt::Packet&) {
+  ++data_dropped_malicious;
+  drop_times.push_back(simulator_.now());
+}
+
+void MetricsCollector::on_wormhole_replay(NodeId, const pkt::Packet&) {
+  ++wormhole_replays;
+}
+
+bool MetricsCollector::all_malicious_isolated() const {
+  return malicious_isolated_count() == isolation_.size();
+}
+
+std::size_t MetricsCollector::malicious_isolated_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(isolation_.begin(), isolation_.end(),
+                    [](const auto& e) { return e.second.complete.has_value(); }));
+}
+
+std::optional<Duration> MetricsCollector::isolation_latency(
+    Time attack_start) const {
+  Duration latency = 0.0;
+  for (const auto& [node, record] : isolation_) {
+    (void)node;
+    if (!record.complete) return std::nullopt;
+    latency = std::max(latency, *record.complete - attack_start);
+  }
+  return latency;
+}
+
+std::uint64_t MetricsCollector::cumulative_at(const std::vector<Time>& times,
+                                              Time t) {
+  // Event vectors are appended in simulation order, hence sorted.
+  return static_cast<std::uint64_t>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+}  // namespace lw::stats

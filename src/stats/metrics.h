@@ -1,0 +1,140 @@
+// Run metrics: the output parameters of the paper's evaluation.
+//
+// A MetricsCollector implements the observer interfaces of the routing,
+// monitoring, and attack layers, and classifies events against ground truth
+// (the deployment geometry and the set of malicious nodes) that individual
+// nodes do not have. Output parameters match Section 6: packets dropped by
+// the wormhole, routes established / malicious routes, isolation latency,
+// plus detection/false-alarm accounting for the analysis comparisons.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/malicious_agent.h"
+#include "liteworp/monitor.h"
+#include "routing/routing.h"
+#include "topology/disc_graph.h"
+
+namespace lw::stats {
+
+/// Isolation progress of one malicious node.
+struct IsolationRecord {
+  /// First local detection by any guard.
+  std::optional<Time> first_detection;
+  /// node -> time it revoked the malicious node.
+  std::map<NodeId, Time> revoked_by;
+  /// Honest ground-truth neighbors that must revoke for complete isolation.
+  std::set<NodeId> required;
+  /// Time the last required neighbor revoked.
+  std::optional<Time> complete;
+};
+
+class MetricsCollector : public routing::RoutingObserver,
+                         public lite::MonitorObserver,
+                         public attack::AttackObserver {
+ public:
+  /// `graph` and `malicious` are ground truth used only for classification.
+  MetricsCollector(const sim::Simulator& simulator,
+                   const topo::DiscGraph& graph,
+                   std::vector<NodeId> malicious);
+
+  // RoutingObserver
+  void on_data_originated(NodeId source, const pkt::Packet& packet) override;
+  void on_data_delivered(NodeId destination,
+                         const pkt::Packet& packet) override;
+  void on_data_dropped_no_route(NodeId source) override;
+  void on_route_established(NodeId source,
+                            const std::vector<NodeId>& path) override;
+  void on_discovery_started(NodeId source, NodeId target) override;
+
+  // MonitorObserver
+  void on_suspicion(NodeId guard, NodeId suspect,
+                    lite::Suspicion kind) override;
+  void on_local_detection(NodeId guard, NodeId suspect) override;
+  void on_alert_sent(NodeId guard, NodeId suspect) override;
+  void on_isolation(NodeId node, NodeId suspect, int alert_count) override;
+
+  // AttackObserver
+  void on_data_dropped(NodeId malicious, const pkt::Packet& packet) override;
+  void on_wormhole_replay(NodeId malicious, const pkt::Packet& packet) override;
+
+  // ---- Counters ----
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped_malicious = 0;
+  std::uint64_t data_dropped_no_route = 0;
+  std::uint64_t discoveries = 0;
+  std::uint64_t routes_established = 0;
+  /// Routes containing a link that does not exist physically (the wormhole
+  /// illusion: a tunneled or relayed hop).
+  std::uint64_t wormhole_routes = 0;
+  /// Routes that pass through at least one malicious node (superset).
+  std::uint64_t routes_via_malicious = 0;
+  /// Routes where a malicious node is a TRANSIT hop (neither source nor
+  /// destination) — the routes an attacker actually captured.
+  std::uint64_t routes_via_malicious_transit = 0;
+  std::uint64_t wormhole_replays = 0;
+
+  std::uint64_t suspicions_fabrication = 0;
+  std::uint64_t suspicions_drop = 0;
+  /// Suspicions whose suspect is actually honest (channel-noise artifacts).
+  std::uint64_t false_suspicions = 0;
+  std::uint64_t local_detections = 0;
+  /// Local detections of honest nodes: a single guard's noise conviction,
+  /// severing one link (the per-guard false alarm of the analysis).
+  std::uint64_t false_local_detections = 0;
+  std::uint64_t alerts_sent = 0;
+  std::uint64_t isolation_events = 0;
+  /// Gamma-confirmed isolations of honest nodes — the network-level false
+  /// alarm of Figure 6(b). Must be 0 at the calibrated operating point.
+  std::uint64_t false_isolations = 0;
+
+  // ---- Event times (for time-series post-processing) ----
+  std::vector<Time> drop_times;
+  std::vector<Time> wormhole_route_times;
+  std::vector<Time> route_times;
+  /// End-to-end delivery latency of each delivered data packet.
+  std::vector<Duration> delivery_latencies;
+
+  /// Mean end-to-end data latency (0 if nothing delivered).
+  double mean_delivery_latency() const;
+  /// p-th percentile latency (p in [0,100]; 0 if nothing delivered).
+  double latency_percentile(double p) const;
+
+  // ---- Per-malicious isolation ----
+  const std::map<NodeId, IsolationRecord>& isolation() const {
+    return isolation_;
+  }
+
+  bool is_malicious(NodeId id) const { return malicious_set_.count(id) != 0; }
+
+  /// True when every malicious node has been completely isolated.
+  bool all_malicious_isolated() const;
+
+  /// Number of malicious nodes completely isolated.
+  std::size_t malicious_isolated_count() const;
+
+  /// Max over malicious nodes of (complete-isolation time - attack_start);
+  /// nullopt if any malicious node is not completely isolated.
+  std::optional<Duration> isolation_latency(Time attack_start) const;
+
+  /// Cumulative count of events in `times` occurring at or before `t`.
+  static std::uint64_t cumulative_at(const std::vector<Time>& times, Time t);
+
+ private:
+  void note_revocation(NodeId by, NodeId suspect);
+
+  const sim::Simulator& simulator_;
+  const topo::DiscGraph& graph_;
+  std::vector<NodeId> malicious_;
+  std::unordered_set<NodeId> malicious_set_;
+  std::map<NodeId, IsolationRecord> isolation_;
+};
+
+}  // namespace lw::stats

@@ -1,0 +1,111 @@
+#include "topology/disc_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace lw::topo {
+
+DiscGraph::DiscGraph(std::vector<Position> positions, double range)
+    : positions_(std::move(positions)), range_(range) {
+  if (range <= 0) throw std::invalid_argument("range must be positive");
+  adjacency_.resize(positions_.size());
+  for (NodeId a = 0; a < positions_.size(); ++a) {
+    for (NodeId b = a + 1; b < positions_.size(); ++b) {
+      if (distance(a, b) <= range_) {
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+      }
+    }
+  }
+}
+
+bool DiscGraph::is_neighbor(NodeId a, NodeId b) const {
+  const auto& adj = adjacency_.at(a);
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+double DiscGraph::average_degree() const {
+  if (positions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
+}
+
+double DiscGraph::distance(NodeId a, NodeId b) const {
+  const Position& pa = positions_.at(a);
+  const Position& pb = positions_.at(b);
+  return dist2d(pa.x, pa.y, pb.x, pb.y);
+}
+
+std::optional<std::size_t> DiscGraph::hop_distance(NodeId from,
+                                                   NodeId to) const {
+  auto path = shortest_path(from, to);
+  if (path.empty()) return std::nullopt;
+  return path.size() - 1;
+}
+
+bool DiscGraph::connected() const {
+  if (positions_.empty()) return true;
+  std::vector<bool> seen(positions_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop();
+    for (NodeId next : adjacency_[current]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        ++visited;
+        frontier.push(next);
+      }
+    }
+  }
+  return visited == positions_.size();
+}
+
+std::vector<NodeId> DiscGraph::shortest_path(NodeId from, NodeId to) const {
+  if (from >= size() || to >= size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  if (from == to) return {from};
+  std::vector<NodeId> parent(size(), kInvalidNode);
+  std::queue<NodeId> frontier;
+  frontier.push(from);
+  parent[from] = from;
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop();
+    for (NodeId next : adjacency_[current]) {
+      if (parent[next] != kInvalidNode) continue;
+      parent[next] = current;
+      if (next == to) {
+        std::vector<NodeId> path{to};
+        for (NodeId hop = to; hop != from; hop = parent[hop]) {
+          path.push_back(parent[hop]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(next);
+    }
+  }
+  return {};
+}
+
+std::vector<NodeId> DiscGraph::guards_of_link(NodeId from, NodeId to) const {
+  std::vector<NodeId> guards;
+  // The sender is a guard of its own outgoing link.
+  if (is_neighbor(from, to)) guards.push_back(from);
+  for (NodeId candidate : adjacency_.at(from)) {
+    if (candidate == to) continue;
+    if (is_neighbor(candidate, to)) guards.push_back(candidate);
+  }
+  return guards;
+}
+
+}  // namespace lw::topo

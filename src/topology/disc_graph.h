@@ -1,0 +1,62 @@
+// Unit-disc connectivity graph over placed nodes.
+//
+// Ground-truth geometry: who can physically hear whom at the nominal radio
+// range. Protocol-level neighbor tables (src/neighbor) are built by message
+// exchange on top of this; the disc graph is the oracle used by the medium,
+// by scenario setup (e.g. choosing colluders > 2 hops apart), and by tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "topology/field.h"
+#include "util/ids.h"
+
+namespace lw::topo {
+
+class DiscGraph {
+ public:
+  /// Builds the symmetric adjacency for |positions| nodes with the given
+  /// communication range (bi-directional links, per the system model).
+  DiscGraph(std::vector<Position> positions, double range);
+
+  std::size_t size() const { return positions_.size(); }
+  double range() const { return range_; }
+  const Position& position(NodeId id) const { return positions_.at(id); }
+  const std::vector<Position>& positions() const { return positions_; }
+
+  bool is_neighbor(NodeId a, NodeId b) const;
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+  std::size_t degree(NodeId id) const { return adjacency_.at(id).size(); }
+
+  /// Average node degree across the graph (the paper's N_B).
+  double average_degree() const;
+
+  /// Distance in meters between two nodes.
+  double distance(NodeId a, NodeId b) const;
+
+  /// BFS hop count between two nodes; nullopt if disconnected.
+  std::optional<std::size_t> hop_distance(NodeId from, NodeId to) const;
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+  /// Shortest path (in hops) as a node sequence including endpoints;
+  /// empty if disconnected. Ties broken toward lower node ids (BFS order).
+  std::vector<NodeId> shortest_path(NodeId from, NodeId to) const;
+
+  /// Guards of the directed link from -> to: nodes adjacent to BOTH ends
+  /// (including `from` itself, which the paper counts as a guard of all its
+  /// outgoing links). `to` is not its own guard.
+  std::vector<NodeId> guards_of_link(NodeId from, NodeId to) const;
+
+ private:
+  std::vector<Position> positions_;
+  double range_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace lw::topo

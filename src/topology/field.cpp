@@ -1,0 +1,59 @@
+#include "topology/field.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace lw::topo {
+
+double field_side_for_density(std::size_t node_count, double radio_range,
+                              double target_neighbors) {
+  if (node_count == 0) throw std::invalid_argument("node_count must be > 0");
+  if (radio_range <= 0 || target_neighbors <= 0) {
+    throw std::invalid_argument("range and target density must be positive");
+  }
+  double n = static_cast<double>(node_count);
+  return radio_range * std::sqrt(kPi * n / target_neighbors);
+}
+
+std::vector<Position> place_uniform(const Field& field,
+                                    std::size_t node_count, Rng& rng) {
+  std::vector<Position> positions;
+  positions.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    positions.push_back({rng.uniform(0.0, field.width),
+                         rng.uniform(0.0, field.height)});
+  }
+  return positions;
+}
+
+std::vector<Position> place_grid(const Field& field, std::size_t columns,
+                                 std::size_t rows) {
+  if (columns == 0 || rows == 0) {
+    throw std::invalid_argument("grid dimensions must be > 0");
+  }
+  std::vector<Position> positions;
+  positions.reserve(columns * rows);
+  // Cell-centered so border nodes keep distance from the field edge.
+  double dx = field.width / static_cast<double>(columns);
+  double dy = field.height / static_cast<double>(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t col = 0; col < columns; ++col) {
+      positions.push_back({(static_cast<double>(col) + 0.5) * dx,
+                           (static_cast<double>(row) + 0.5) * dy});
+    }
+  }
+  return positions;
+}
+
+std::vector<Position> place_line(std::size_t node_count, double spacing) {
+  std::vector<Position> positions;
+  positions.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    positions.push_back({static_cast<double>(i) * spacing, 0.0});
+  }
+  return positions;
+}
+
+}  // namespace lw::topo

@@ -1,0 +1,48 @@
+// Deployment field and node placement.
+//
+// The paper distributes nodes uniformly at random over a square field whose
+// side grows with the node count so average density (hence average neighbor
+// count N_B) stays fixed: 80x80 m at N=20 up to 200x200 m at N=150 with
+// r=30 m, N_B ~= 8.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lw::topo {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+struct Field {
+  double width = 0.0;
+  double height = 0.0;
+
+  double area() const { return width * height; }
+};
+
+/// Side of the square field that yields the target average neighbor count:
+/// N_B = pi r^2 d with d = N/area  =>  side = r * sqrt(pi N / N_B).
+double field_side_for_density(std::size_t node_count, double radio_range,
+                              double target_neighbors);
+
+/// Uniform i.i.d. placement of node_count positions over the field.
+std::vector<Position> place_uniform(const Field& field, std::size_t node_count,
+                                    Rng& rng);
+
+/// Regular grid placement (row-major), spacing chosen to fill the field.
+/// Deterministic; used by unit tests and the didactic examples.
+std::vector<Position> place_grid(const Field& field, std::size_t columns,
+                                 std::size_t rows);
+
+/// Equally spaced positions on a horizontal line (chain topologies for the
+/// Figure 1 / Figure 2 style examples).
+std::vector<Position> place_line(std::size_t node_count, double spacing);
+
+}  // namespace lw::topo

@@ -1,0 +1,47 @@
+// Minimal typed key/value configuration with command-line parsing.
+//
+// Benches and examples accept "--key=value" flags; scenario code reads
+// typed values with defaults. Unknown keys are kept so callers can reject
+// typos explicitly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lw {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv entries of the form --key=value or --flag (value "true").
+  /// Non-flag entries are collected as positionals.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+  bool has(const std::string& key) const;
+
+  /// Typed getters return the default when the key is absent, and throw
+  /// std::invalid_argument when the value does not parse.
+  std::string get_string(const std::string& key, std::string def) const;
+  double get_double(const std::string& key, double def) const;
+  int get_int(const std::string& key, int def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Keys that were set but never read through a getter; used by mains to
+  /// diagnose mistyped flags.
+  std::vector<std::string> unread_keys() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace lw

@@ -1,0 +1,48 @@
+// Strongly-typed identifiers used across the library.
+//
+// A NodeId is a small integer handle assigned densely at network-build time;
+// kInvalidNode marks "no node" (e.g. an empty previous-hop announcement).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace lw {
+
+/// Dense handle for a node in the simulated network.
+using NodeId = std::uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Monotonic per-origin packet sequence number.
+using SeqNo = std::uint64_t;
+
+/// Globally unique packet instance id (assigned by the packet factory).
+using PacketUid = std::uint64_t;
+
+/// Key that identifies one end-to-end control packet for watch-buffer
+/// matching: (origin, sequence number, packet type tag).
+struct FlowKey {
+  NodeId origin = kInvalidNode;
+  SeqNo seq = 0;
+  std::uint8_t type_tag = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+}  // namespace lw
+
+template <>
+struct std::hash<lw::FlowKey> {
+  std::size_t operator()(const lw::FlowKey& k) const noexcept {
+    std::uint64_t h = k.origin;
+    h = h * 0x9E3779B97F4A7C15ull + k.seq;
+    h = h * 0x9E3779B97F4A7C15ull + k.type_tag;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,76 @@
+// Leveled logging with a process-global sink.
+//
+// The simulator is single-threaded by design, so the logger needs no locks.
+// Protocol code logs through LW_LOG(level) << ...; the level filter is a
+// cheap integer compare when the message is suppressed.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace lw {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* to_string(LogLevel level);
+
+/// Process-global logging configuration.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirect output (default std::clog). The stream must outlive use.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+};
+
+/// RAII line builder: accumulates a message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lw
+
+#define LW_LOG(level)                                  \
+  if (!::lw::Logger::instance().enabled(level)) {      \
+  } else                                               \
+    ::lw::LogLine(level)
+
+#define LW_TRACE LW_LOG(::lw::LogLevel::kTrace)
+#define LW_DEBUG LW_LOG(::lw::LogLevel::kDebug)
+#define LW_INFO LW_LOG(::lw::LogLevel::kInfo)
+#define LW_WARN LW_LOG(::lw::LogLevel::kWarn)
+#define LW_ERROR LW_LOG(::lw::LogLevel::kError)

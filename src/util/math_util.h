@@ -1,0 +1,30 @@
+// Small math helpers shared by the geometry and analysis code.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace lw {
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// x^2 without repeating the expression.
+constexpr double sq(double x) { return x * x; }
+
+/// Euclidean distance between (x1,y1) and (x2,y2).
+inline double dist2d(double x1, double y1, double x2, double y2) {
+  return std::hypot(x1 - x2, y1 - y2);
+}
+
+/// Clamp a probability into [0, 1]; analysis formulas can stray slightly
+/// outside due to floating error.
+inline double clamp01(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+/// True if |a-b| <= tol (absolute tolerance comparison for doubles).
+inline bool near(double a, double b, double tol) { return std::fabs(a - b) <= tol; }
+
+}  // namespace lw

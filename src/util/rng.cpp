@@ -1,0 +1,35 @@
+#include "util/rng.h"
+
+namespace lw {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t RngFactory::derive(std::string_view name) const {
+  return splitmix64(fnv1a(name, kFnvOffset ^ master_));
+}
+
+std::uint64_t RngFactory::derive(std::string_view name,
+                                 std::uint64_t index) const {
+  return splitmix64(derive(name) ^ splitmix64(index + 1));
+}
+
+}  // namespace lw

@@ -1,0 +1,20 @@
+// Virtual simulation time.
+//
+// Time is a double in seconds, matching ns-2 conventions. All protocol
+// parameters (timeouts, rates) are expressed in these units.
+#pragma once
+
+namespace lw {
+
+/// Virtual time in seconds since simulation start.
+using Time = double;
+
+/// A span of virtual time in seconds.
+using Duration = double;
+
+inline constexpr Time kTimeZero = 0.0;
+
+/// Sentinel for "never" / unset deadlines.
+inline constexpr Time kTimeNever = 1e300;
+
+}  // namespace lw

@@ -1,0 +1,89 @@
+// Cost model (Section 5.2): storage, watch sizing, bandwidth.
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.h"
+#include "util/math_util.h"
+
+namespace lw::analysis {
+namespace {
+
+TEST(CostModel, DensityConversionsRoundTrip) {
+  const double d = density_from_neighbors(30.0, 8.0);
+  EXPECT_NEAR(neighbors_from_density(30.0, d), 8.0, 1e-9);
+  EXPECT_NEAR(kPi * 900.0 * d, 8.0, 1e-9);
+}
+
+TEST(CostModel, NeighborStorageUnderHalfKilobyteAtTen) {
+  // The paper's headline figure: NBLS < 0.5 KB at an average of 10
+  // neighbors per node.
+  EXPECT_LT(neighbor_list_bytes(10.0), 512u);
+  EXPECT_LT(neighbor_list_bytes_paper(10.0), 512u);
+}
+
+TEST(CostModel, ExactAndPaperFormsAgreeRoughly) {
+  for (double nb : {4.0, 8.0, 10.0, 16.0}) {
+    const double exact = static_cast<double>(neighbor_list_bytes(nb));
+    const double paper = static_cast<double>(neighbor_list_bytes_paper(nb));
+    EXPECT_NEAR(exact / paper, 1.0, 0.45) << "N_B = " << nb;
+  }
+}
+
+TEST(CostModel, NodesWatchingRepMatchesPaperExample) {
+  // Paper: N = 100, h = 4, and their density => N_REP = 17, so each node
+  // watches (17/100) * f replies.
+  CostParams params;
+  params.radio_range = 30.0;
+  params.average_route_hops = 4.0;
+  params.network_size = 100;
+  // Find the density the paper's example implies: N_REP = 2 r^2 (h+1) d.
+  params.node_density = 17.0 / (2.0 * 900.0 * 5.0);
+  EXPECT_NEAR(nodes_watching_rep(params), 17.0, 0.01);
+
+  params.route_establishment_rate = 0.25;  // f = 1 route per 4 time units
+  // "each node watches only 4 route replies every 100 time units"
+  EXPECT_NEAR(reps_watched_per_node(params) * 100.0, 4.25, 0.1);
+}
+
+TEST(CostModel, WatchBufferStaysTiny) {
+  CostParams params;
+  params.average_neighbors = 8.0;
+  params.route_establishment_rate = 0.5;
+  // With a sub-second residence, the expected occupancy is well below the
+  // paper's 4-entry budget.
+  EXPECT_LT(watch_buffer_entries(params, 2.5), 4.0);
+  EXPECT_LE(watch_buffer_bytes(4.0), 80u);
+}
+
+TEST(CostModel, AlertBufferBytes) {
+  EXPECT_EQ(alert_buffer_bytes(3), 12u);
+}
+
+TEST(CostModel, TotalStateWellUnderOneKilobyte) {
+  CostParams params;
+  params.average_neighbors = 8.0;
+  params.route_establishment_rate = 0.5;
+  const std::size_t total = total_state_bytes(params, 2.5, 3);
+  EXPECT_LT(total, 1024u)
+      << "a MICA-class mote can afford the whole LITEWORP state";
+  EXPECT_GT(total, 100u) << "sanity: the model is not degenerate";
+}
+
+TEST(CostModel, DiscoveryBandwidthOnceOnly) {
+  // One HELLO, N_B authenticated replies, one list broadcast: a few
+  // hundred bytes per node, spent exactly once per deployment.
+  const std::size_t bytes = discovery_bandwidth_bytes(8.0);
+  EXPECT_GT(bytes, 200u);
+  EXPECT_LT(bytes, 1000u);
+}
+
+TEST(CostModel, DetectionBandwidthSmall) {
+  const std::size_t bytes = detection_bandwidth_bytes(8.0);
+  EXPECT_LT(bytes, 1500u) << "an alert plus its relays";
+}
+
+TEST(CostModel, StorageGrowsQuadraticallyWithDensity) {
+  EXPECT_GT(neighbor_list_bytes(16.0), 3u * neighbor_list_bytes(8.0));
+}
+
+}  // namespace
+}  // namespace lw::analysis

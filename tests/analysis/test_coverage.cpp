@@ -1,0 +1,145 @@
+// Coverage analysis (Section 5.1): geometry constants and the shapes of
+// Figures 6(a), 6(b), and the analytic Figure 10 curve.
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "util/math_util.h"
+
+namespace lw::analysis {
+namespace {
+
+TEST(Geometry, LensAreaEdgeCases) {
+  EXPECT_NEAR(lens_area(0.0, 1.0), kPi, 1e-12) << "coincident discs";
+  EXPECT_NEAR(lens_area(2.0, 1.0), 0.0, 1e-12) << "tangent discs";
+  EXPECT_THROW(lens_area(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Geometry, LensAreaAtFullSeparation) {
+  // A(r) = r^2 (2 pi/3 - sqrt(3)/2) ~= 1.2284 r^2: the minimum guard area
+  // (the paper rounds the pi-fraction to 0.36 pi r^2; exact is 0.391).
+  const double expected = 2.0 * kPi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(lens_area(1.0, 1.0), expected, 1e-12);
+  EXPECT_NEAR(min_lens_area(2.0), expected * 4.0, 1e-9) << "scales as r^2";
+  EXPECT_NEAR(lens_area(1.0, 1.0) / kPi, 0.391, 0.001);
+}
+
+TEST(Geometry, LensAreaMonotoneDecreasingInDistance) {
+  double prev = lens_area(0.0, 1.0);
+  for (double x = 0.05; x <= 2.0; x += 0.05) {
+    double area = lens_area(x, 1.0);
+    EXPECT_LT(area, prev);
+    prev = area;
+  }
+}
+
+TEST(Geometry, ExpectedLensAreaExact) {
+  // E[A] = Int_0^r A(x) 2x/r^2 dx = 1.8426 r^2 exactly; the paper rounds
+  // it down to "1.6 r^2" (and g to 0.51 N_B). We pin the exact value and
+  // note the paper's figure as an approximation.
+  EXPECT_NEAR(expected_lens_area(1.0), 1.8426, 0.001);
+  EXPECT_NEAR(expected_lens_area(30.0) / (30.0 * 30.0), 1.8426, 0.001);
+}
+
+TEST(Geometry, ExpectedGuardsExact) {
+  // g = E[A]/(pi r^2) N_B = 0.5865 N_B (paper: 0.51 N_B);
+  // g_min = A(r)/(pi r^2) N_B = 0.391 N_B (paper: "0.36").
+  EXPECT_NEAR(expected_guards(1.0), 0.5865, 0.001);
+  EXPECT_NEAR(expected_guards(8.0), 8.0 * 0.5865, 0.01);
+  EXPECT_NEAR(min_guards(1.0), 0.391, 0.001);
+}
+
+TEST(Coverage, CollisionProbabilityLinearInDensity) {
+  CoverageParams params;  // P_C = 0.05 at N_B = 3
+  EXPECT_NEAR(collision_probability(params, 3.0), 0.05, 1e-12);
+  EXPECT_NEAR(collision_probability(params, 6.0), 0.10, 1e-12);
+  EXPECT_NEAR(collision_probability(params, 120.0), params.pc_max, 1e-12)
+      << "clamped";
+}
+
+TEST(Coverage, GuardAlertProbabilityHighAtLowPc) {
+  CoverageParams params;  // k = 5 of kappa = 7
+  EXPECT_GT(guard_alert_probability(params, 0.05), 0.99);
+  EXPECT_LT(guard_alert_probability(params, 0.9), 0.01);
+}
+
+TEST(Coverage, DetectionRisesThenFalls) {
+  // Figure 6(a): detection probability increases with density (more
+  // guards) then collapses once collisions dominate.
+  CoverageParams params;
+  auto curve = detection_vs_neighbors(params, 3.0, 40.0, 1.0);
+  ASSERT_GT(curve.size(), 10u);
+  // Find the peak.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].y > curve[peak].y) peak = i;
+  }
+  EXPECT_GT(peak, 0u) << "must rise initially";
+  EXPECT_LT(peak, curve.size() - 1) << "must fall eventually";
+  EXPECT_GT(curve[peak].y, 0.9) << "near-certain detection at the sweet spot";
+  EXPECT_LT(curve.back().y, 0.2) << "collapses at extreme density";
+}
+
+TEST(Coverage, DetectionHighAroundTableTwoDensity) {
+  CoverageParams params;
+  EXPECT_GT(detection_probability(params, 8.0), 0.5)
+      << "the evaluated N_B = 8 operating point must detect reliably";
+}
+
+TEST(Coverage, FalseAlarmTinyEverywhere) {
+  // Figure 6(b): the worst-case false-alarm probability is negligible
+  // (the paper plots it scaled by 1e-3).
+  CoverageParams params;
+  auto curve = false_alarm_vs_neighbors(params, 3.0, 40.0, 1.0);
+  for (const auto& point : curve) {
+    EXPECT_LT(point.y, 1e-2) << "N_B = " << point.x;
+  }
+}
+
+TEST(Coverage, FalseAlarmNonMonotone) {
+  // Rises with guard count, falls when collisions hide the forward too.
+  CoverageParams params;
+  auto curve = false_alarm_vs_neighbors(params, 3.0, 60.0, 1.0);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].y > curve[peak].y) peak = i;
+  }
+  EXPECT_GT(peak, 0u);
+  EXPECT_LT(peak, curve.size() - 1);
+}
+
+TEST(Coverage, FalseSuspicionFormula) {
+  EXPECT_DOUBLE_EQ(false_suspicion_probability(0.05), 0.05 * 0.95);
+  EXPECT_DOUBLE_EQ(false_suspicion_probability(0.0), 0.0);
+}
+
+TEST(Coverage, DetectionDecreasesWithGamma) {
+  // Figure 10's analytic curve: raising the detection confidence index
+  // demands more independent guards and lowers detection probability.
+  CoverageParams params;
+  auto curve = detection_vs_gamma(params, 15.0, 2, 8);
+  ASSERT_EQ(curve.size(), 7u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].y, curve[i - 1].y + 1e-12)
+        << "gamma=" << curve[i].x;
+  }
+  EXPECT_GT(curve.front().y, 0.9) << "gamma=2 at N_B=15";
+}
+
+TEST(Coverage, RequiredDensityQuery) {
+  // The design question the paper poses: density needed for p% coverage.
+  CoverageParams params;
+  double nb = neighbors_for_detection(params, 0.95, 3.0, 40.0);
+  ASSERT_GT(nb, 0.0);
+  EXPECT_GE(detection_probability(params, nb), 0.95);
+  EXPECT_LT(detection_probability(params, nb - 0.5), 0.95)
+      << "returned density should be minimal-ish";
+}
+
+TEST(Coverage, UnattainableTargetReturnsNegative) {
+  CoverageParams params;
+  params.pc_reference = 0.9;  // hopeless channel
+  EXPECT_LT(neighbors_for_detection(params, 0.99, 3.0, 40.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lw::analysis

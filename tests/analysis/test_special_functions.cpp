@@ -1,0 +1,130 @@
+// Special functions: incomplete beta vs exact binomial tails, identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/special_functions.h"
+
+namespace lw::analysis {
+namespace {
+
+TEST(SpecialFunctions, BinomialCoefficients) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 5), 21.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 9), 0.0);
+}
+
+TEST(SpecialFunctions, BinomialTailEdges) {
+  EXPECT_DOUBLE_EQ(binomial_tail_at_least(7, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_at_least(7, 8, 0.3), 0.0);
+  EXPECT_NEAR(binomial_tail_at_least(7, 7, 0.5), std::pow(0.5, 7), 1e-12);
+}
+
+TEST(SpecialFunctions, BinomialTailMatchesDirectSum) {
+  // P(X >= 5), X ~ Bin(7, 0.95): the paper's per-guard alert probability.
+  double expected = 0.0;
+  for (int i = 5; i <= 7; ++i) {
+    expected += binomial_coefficient(7, i) * std::pow(0.95, i) *
+                std::pow(0.05, 7 - i);
+  }
+  EXPECT_NEAR(binomial_tail_at_least(7, 5, 0.95), expected, 1e-12);
+  EXPECT_GT(expected, 0.99) << "a guard almost surely catches 5 of 7";
+}
+
+TEST(SpecialFunctions, IncompleteBetaBounds) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(1.0, 2.0, 3.0), 1.0);
+  double mid = regularized_incomplete_beta(0.5, 2.0, 3.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(SpecialFunctions, IncompleteBetaKnownValues) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double x : {0.1, 0.4, 0.9}) {
+    for (double b : {1.0, 2.5, 7.0}) {
+      EXPECT_NEAR(regularized_incomplete_beta(x, 1.0, b),
+                  1.0 - std::pow(1.0 - x, b), 1e-10);
+    }
+  }
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(regularized_incomplete_beta(0.3, 4.0, 1.0), std::pow(0.3, 4),
+              1e-10);
+}
+
+TEST(SpecialFunctions, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(regularized_incomplete_beta(x, 3.0, 5.0),
+                1.0 - regularized_incomplete_beta(1.0 - x, 5.0, 3.0), 1e-10);
+  }
+}
+
+TEST(SpecialFunctions, InvalidParametersThrow) {
+  EXPECT_THROW(regularized_incomplete_beta(0.5, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(regularized_incomplete_beta(0.5, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+/// The central identity the paper leans on: P(X >= k) for X ~ Bin(n, p)
+/// equals I_p(k, n - k + 1). Swept over a parameter grid.
+class BetaBinomialIdentity
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BetaBinomialIdentity, TailEqualsBeta) {
+  auto [n, k, p] = GetParam();
+  const double tail = binomial_tail_at_least(n, k, p);
+  const double beta = at_least_k_of_n(k, n, p);
+  EXPECT_NEAR(tail, beta, 1e-9) << "n=" << n << " k=" << k << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BetaBinomialIdentity,
+    ::testing::Combine(::testing::Values(3, 7, 12, 20),
+                       ::testing::Values(1, 2, 3, 5, 7),
+                       ::testing::Values(0.05, 0.3, 0.5, 0.9, 0.99)));
+
+TEST(SpecialFunctions, AtLeastKOfNDegenerateCases) {
+  EXPECT_DOUBLE_EQ(at_least_k_of_n(0.0, 5.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(at_least_k_of_n(-1.0, 5.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(at_least_k_of_n(6.0, 5.0, 0.5), 0.0);
+}
+
+TEST(SpecialFunctions, AtLeastKOfNAcceptsRealCounts) {
+  // The paper's g = 0.51 N_B is non-integer; the value must interpolate
+  // smoothly between the bracketing integers.
+  const double lower = at_least_k_of_n(3, 4.0, 0.9);
+  const double mid = at_least_k_of_n(3, 4.5, 0.9);
+  const double upper = at_least_k_of_n(3, 5.0, 0.9);
+  EXPECT_GT(mid, lower);
+  EXPECT_LT(mid, upper);
+}
+
+TEST(SpecialFunctions, MonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    double value = at_least_k_of_n(3, 7.0, p);
+    EXPECT_GE(value, prev - 1e-12);
+    prev = value;
+  }
+}
+
+TEST(SpecialFunctions, MonotoneDecreasingInThreshold) {
+  double prev = 1.0;
+  for (int k = 0; k <= 7; ++k) {
+    double value = at_least_k_of_n(k, 7.0, 0.6);
+    EXPECT_LE(value, prev + 1e-12);
+    prev = value;
+  }
+}
+
+TEST(SpecialFunctions, LogBetaMatchesFactorials) {
+  // B(a,b) = (a-1)!(b-1)!/(a+b-1)! for integers.
+  EXPECT_NEAR(std::exp(log_beta(3, 4)), 2.0 * 6.0 / 720.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lw::analysis

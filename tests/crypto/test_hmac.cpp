@@ -1,0 +1,108 @@
+// HMAC-SHA-256 against the RFC 4231 test vectors, plus tag semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+
+namespace lw::crypto {
+namespace {
+
+Key key_of(std::size_t len, std::uint8_t byte) { return Key(len, byte); }
+
+std::string hmac_hex(const Key& key, std::string_view message) {
+  return to_hex(hmac_sha256(key, message));
+}
+
+// RFC 4231, test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  EXPECT_EQ(hmac_hex(key_of(20, 0x0b), "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231, test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2) {
+  Key key{'J', 'e', 'f', 'e'};
+  EXPECT_EQ(hmac_hex(key, "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231, test case 3: 20 x 0xaa key, 50 x 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  std::string data(50, static_cast<char>(0xdd));
+  EXPECT_EQ(hmac_hex(key_of(20, 0xaa), data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231, test case 6: key larger than one block (131 bytes).
+TEST(Hmac, Rfc4231Case6OversizedKey) {
+  EXPECT_EQ(hmac_hex(key_of(131, 0xaa),
+                     "Test Using Larger Than Block-Size Key - Hash Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 4231, test case 7: oversized key AND long data.
+TEST(Hmac, Rfc4231Case7) {
+  EXPECT_EQ(
+      hmac_hex(key_of(131, 0xaa),
+               "This is a test using a larger than block-size key and a "
+               "larger than block-size data. The key needs to be hashed "
+               "before being used by the HMAC algorithm."),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(hmac_hex(key_of(16, 0x01), "msg"),
+            hmac_hex(key_of(16, 0x02), "msg"));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  Key key = key_of(16, 0x01);
+  EXPECT_NE(hmac_hex(key, "msg-a"), hmac_hex(key, "msg-b"));
+}
+
+TEST(Hmac, DigestsEqualConstantTimeCompare) {
+  Digest a = hmac_sha256(key_of(8, 1), "x");
+  Digest b = a;
+  EXPECT_TRUE(digests_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digests_equal(a, b));
+}
+
+TEST(AuthTag, MakeAndVerifyRoundTrip) {
+  Key key = key_of(16, 0x42);
+  AuthTag tag = make_tag(key, "hello world");
+  EXPECT_TRUE(verify_tag(key, "hello world", tag));
+}
+
+TEST(AuthTag, WrongMessageFails) {
+  Key key = key_of(16, 0x42);
+  AuthTag tag = make_tag(key, "hello world");
+  EXPECT_FALSE(verify_tag(key, "hello worle", tag));
+}
+
+TEST(AuthTag, WrongKeyFails) {
+  AuthTag tag = make_tag(key_of(16, 0x42), "hello world");
+  EXPECT_FALSE(verify_tag(key_of(16, 0x43), "hello world", tag));
+}
+
+TEST(AuthTag, TagIsDigestPrefix) {
+  Key key = key_of(16, 0x42);
+  Digest digest = hmac_sha256(key, "prefix-check");
+  AuthTag tag = make_tag(key, "prefix-check");
+  EXPECT_TRUE(std::equal(tag.begin(), tag.end(), digest.begin()));
+}
+
+TEST(AuthTag, FlippedBitFails) {
+  Key key = key_of(16, 0x42);
+  AuthTag tag = make_tag(key, "bits");
+  for (std::size_t i = 0; i < tag.size(); ++i) {
+    AuthTag mutated = tag;
+    mutated[i] ^= 0x80;
+    EXPECT_FALSE(verify_tag(key, "bits", mutated)) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lw::crypto

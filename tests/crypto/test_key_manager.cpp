@@ -1,0 +1,68 @@
+// Pairwise key pre-distribution semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/key_manager.h"
+
+namespace lw::crypto {
+namespace {
+
+TEST(KeyManager, PairwiseKeySymmetric) {
+  KeyManager keys(123);
+  EXPECT_EQ(keys.pairwise_key(3, 9), keys.pairwise_key(9, 3));
+}
+
+TEST(KeyManager, DistinctPairsDistinctKeys) {
+  KeyManager keys(123);
+  std::set<Key> seen;
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = a + 1; b < 10; ++b) {
+      seen.insert(keys.pairwise_key(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 45u);
+}
+
+TEST(KeyManager, DifferentDeploymentsDifferentKeys) {
+  KeyManager a(1);
+  KeyManager b(2);
+  EXPECT_NE(a.pairwise_key(0, 1), b.pairwise_key(0, 1));
+}
+
+TEST(KeyManager, SignVerifyRoundTrip) {
+  KeyManager keys(7);
+  AuthTag tag = keys.sign(2, 5, "hello-reply|2|5|1");
+  EXPECT_TRUE(keys.verify(2, 5, "hello-reply|2|5|1", tag));
+  EXPECT_TRUE(keys.verify(5, 2, "hello-reply|2|5|1", tag))
+      << "verification must work from either end of the pair";
+}
+
+TEST(KeyManager, CrossPairVerificationFails) {
+  KeyManager keys(7);
+  AuthTag tag = keys.sign(2, 5, "message");
+  EXPECT_FALSE(keys.verify(2, 6, "message", tag))
+      << "a tag for pair {2,5} must not verify under pair {2,6}";
+}
+
+TEST(KeyManager, TamperedMessageFails) {
+  KeyManager keys(7);
+  AuthTag tag = keys.sign(2, 5, "original");
+  EXPECT_FALSE(keys.verify(2, 5, "tampered", tag));
+}
+
+TEST(KeyManager, OutsiderForgeryFails) {
+  KeyManager keys(7);
+  // An external attacker without keys can only guess 8-byte tags.
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    EXPECT_FALSE(keys.verify(2, 5, "alert|accused=3", forge_tag(attempt)));
+  }
+}
+
+TEST(KeyManager, KeyLengthIsDigestLength) {
+  KeyManager keys(7);
+  EXPECT_EQ(keys.pairwise_key(0, 1).size(), 32u);
+}
+
+}  // namespace
+}  // namespace lw::crypto

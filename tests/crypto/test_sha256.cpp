@@ -1,0 +1,109 @@
+// SHA-256 against the FIPS 180-4 / NIST CAVP short-message vectors.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace lw::crypto {
+namespace {
+
+std::string hash_hex(std::string_view message) {
+  return to_hex(Sha256::hash(message));
+}
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, FourBlockMessage) {
+  EXPECT_EQ(
+      hash_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+               "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding forces an extra block.
+  std::string message(64, 'x');
+  Sha256 ctx;
+  ctx.update(message);
+  EXPECT_EQ(to_hex(ctx.finalize()), hash_hex(message));
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes fits length in one padded block; 56 does not — both paths.
+  std::string m55(55, 'y');
+  std::string m56(56, 'y');
+  EXPECT_NE(hash_hex(m55), hash_hex(m56));
+  EXPECT_EQ(hash_hex(m55).size(), 64u);
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  std::string message =
+      "the quick brown fox jumps over the lazy dog, repeatedly and with "
+      "great determination, across several update calls";
+  Sha256 ctx;
+  for (std::size_t i = 0; i < message.size(); i += 7) {
+    ctx.update(std::string_view(message).substr(i, 7));
+  }
+  EXPECT_EQ(to_hex(ctx.finalize()), hash_hex(message));
+}
+
+TEST(Sha256, SingleByteIncrements) {
+  std::string message = "incremental-byte-by-byte";
+  Sha256 ctx;
+  for (char c : message) ctx.update(std::string_view(&c, 1));
+  EXPECT_EQ(to_hex(ctx.finalize()), hash_hex(message));
+}
+
+TEST(Sha256, ResetStartsFresh) {
+  Sha256 ctx;
+  ctx.update("garbage");
+  (void)ctx.finalize();
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(to_hex(ctx.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DistinctMessagesDistinctDigests) {
+  // Not a collision test, just a sanity sweep over near-identical inputs.
+  std::vector<std::string> inputs;
+  for (int i = 0; i < 64; ++i) {
+    inputs.push_back("message-" + std::to_string(i));
+  }
+  std::set<std::string> digests;
+  for (const auto& in : inputs) digests.insert(hash_hex(in));
+  EXPECT_EQ(digests.size(), inputs.size());
+}
+
+TEST(Sha256, HexFormat) {
+  std::string hex = hash_hex("abc");
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lw::crypto

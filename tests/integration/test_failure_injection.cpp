@@ -1,0 +1,76 @@
+// Failure injection: constant per-reception loss (the analysis' P_C knob)
+// layered on top of real collisions, with no attacker present. LITEWORP
+// must never convict an honest node at the analysis-supported loss rates,
+// and the ablated strict check must be no better (it is the noisy one).
+#include <gtest/gtest.h>
+
+#include "scenario/runner.h"
+
+namespace lw {
+namespace {
+
+scenario::ExperimentConfig lossy_config(double loss, std::uint64_t seed) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = 50;
+  config.seed = seed;
+  config.duration = 400.0;
+  config.malicious_count = 0;
+  config.phy.extra_loss_prob = loss;
+  config.finalize();
+  return config;
+}
+
+class LossSweep : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(LossSweep, NoFalseIsolationWithoutAttacker) {
+  auto [loss, seed] = GetParam();
+  auto result = scenario::run_experiment(
+      lossy_config(loss, static_cast<std::uint64_t>(seed)));
+  EXPECT_EQ(result.false_isolations, 0u)
+      << "loss " << loss << ", seed " << seed << " (suspicions fab="
+      << result.suspicions_fabrication << " drop=" << result.suspicions_drop
+      << ")";
+  // The network itself keeps functioning under injected loss (ARQ).
+  EXPECT_GT(result.data_delivered, result.data_originated / 2)
+      << "delivery collapsed at loss " << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossGrid, LossSweep,
+    ::testing::Combine(::testing::Values(0.02, 0.05, 0.10),
+                       ::testing::Values(81, 82, 83)));
+
+TEST(FailureInjection, SuspicionsScaleWithLoss) {
+  auto clean = scenario::run_experiment(lossy_config(0.0, 90));
+  auto noisy = scenario::run_experiment(lossy_config(0.10, 90));
+  // More loss -> more missed handoffs -> more (benign) suspicions. The
+  // block window keeps them from becoming convictions (checked above).
+  EXPECT_GE(noisy.suspicions_fabrication + noisy.suspicions_drop,
+            clean.suspicions_fabrication + clean.suspicions_drop);
+}
+
+TEST(FailureInjection, StrictCheckIsTheNoisyOne) {
+  auto relaxed_cfg = lossy_config(0.10, 91);
+  auto strict_cfg = lossy_config(0.10, 91);
+  strict_cfg.liteworp.strict_link_check = true;
+  auto relaxed = scenario::run_experiment(relaxed_cfg);
+  auto strict = scenario::run_experiment(strict_cfg);
+  EXPECT_GE(strict.false_suspicions, relaxed.false_suspicions)
+      << "the flow-wide relaxation must never add noise";
+  EXPECT_GT(strict.false_suspicions, 0u)
+      << "at 10% loss the strict check should visibly misfire";
+}
+
+TEST(FailureInjection, DetectionSurvivesInjectedLoss) {
+  auto config = lossy_config(0.10, 92);
+  config.malicious_count = 2;
+  config.duration = 500.0;
+  config.finalize();
+  auto result = scenario::run_experiment(config);
+  EXPECT_EQ(result.malicious_isolated, 2u)
+      << "a wormhole that cheats on every packet outruns 10% channel loss";
+  EXPECT_EQ(result.false_isolations, 0u);
+}
+
+}  // namespace
+}  // namespace lw

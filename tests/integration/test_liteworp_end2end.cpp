@@ -1,0 +1,175 @@
+// End-to-end reproduction properties of the paper's evaluation:
+//   * every wormhole is detected and completely isolated (Sec 6, "100%
+//     detection ... over a large range of scenarios");
+//   * no honest node is ever isolated at the calibrated operating point;
+//   * with LITEWORP the loss stops after isolation (Fig 8's flattening);
+//   * baseline loss dwarfs protected loss (Fig 9's contrast).
+#include <gtest/gtest.h>
+
+#include "scenario/runner.h"
+
+namespace lw {
+namespace {
+
+scenario::ExperimentConfig e2e_config(std::size_t nodes, std::uint64_t seed,
+                                      bool liteworp,
+                                      std::size_t malicious = 2) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = nodes;
+  config.seed = seed;
+  config.duration = 600.0;
+  config.malicious_count = malicious;
+  config.liteworp.enabled = liteworp;
+  config.finalize();
+  return config;
+}
+
+/// Detection-and-no-false-alarm sweep across network sizes and seeds
+/// (the paper's N in {20, 50, 100, 150}; 150 trimmed to keep CI fast).
+/// gamma follows the coverage analysis: it must stay below the expected
+/// guard count g ~= 0.59 N_B, so small fields (border-heavy, effective
+/// N_B ~ 5) run with gamma = 2 — a node of degree 3 can never gather 3
+/// distinct guards, in the simulation exactly as in the analysis.
+class DetectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DetectionSweep, EveryWormholeIsolatedNoFalsePositives) {
+  auto [nodes, seed, gamma] = GetParam();
+  auto config = e2e_config(static_cast<std::size_t>(nodes),
+                           static_cast<std::uint64_t>(seed), true);
+  config.liteworp.detection_confidence = gamma;
+  config.finalize();
+  auto result = scenario::run_experiment(config);
+  EXPECT_EQ(result.malicious_isolated, result.malicious_count)
+      << nodes << " nodes, seed " << seed;
+  EXPECT_TRUE(result.isolation_latency.has_value());
+  EXPECT_EQ(result.false_isolations, 0u)
+      << nodes << " nodes, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, DetectionSweep,
+    ::testing::Values(std::make_tuple(20, 31, 2), std::make_tuple(20, 32, 2),
+                      std::make_tuple(50, 33, 3), std::make_tuple(50, 34, 3),
+                      std::make_tuple(100, 35, 3),
+                      std::make_tuple(100, 36, 3)));
+
+TEST(EndToEnd, LossStopsAfterIsolation) {
+  auto result = scenario::run_experiment(e2e_config(60, 41, true));
+  ASSERT_TRUE(result.isolation_latency.has_value());
+  const Time settled =
+      result.attack_start + *result.isolation_latency + 60.0;
+  const auto before = stats::MetricsCollector::cumulative_at(
+      result.drop_times, settled);
+  const auto total = result.drop_times.size();
+  // Fig 8's flattening: once routes through the wormhole die out, no
+  // further packets are lost to it.
+  EXPECT_EQ(total - before, 0u)
+      << "drops continued long after isolation settled";
+}
+
+TEST(EndToEnd, BaselineLossGrowsUnbounded) {
+  auto result = scenario::run_experiment(e2e_config(60, 41, false));
+  ASSERT_GT(result.data_dropped_malicious, 0u);
+  // Fig 8's baseline: drops keep accumulating in the second half too.
+  const Time midpoint = result.attack_start +
+                        (result.duration - result.attack_start) / 2;
+  const auto first_half = stats::MetricsCollector::cumulative_at(
+      result.drop_times, midpoint);
+  EXPECT_GT(result.drop_times.size(), static_cast<std::size_t>(first_half))
+      << "an undetected wormhole must keep eating traffic";
+}
+
+TEST(EndToEnd, ProtectedLossNegligibleVersusBaseline) {
+  auto baseline = scenario::run_experiment(e2e_config(60, 42, false));
+  auto protected_run = scenario::run_experiment(e2e_config(60, 42, true));
+  ASSERT_GT(baseline.fraction_dropped(), 0.02);
+  EXPECT_LT(protected_run.fraction_dropped(),
+            baseline.fraction_dropped() / 4)
+      << "paper: loss under LITEWORP is negligible compared to baseline";
+}
+
+TEST(EndToEnd, WormholeRoutesStopAccumulating) {
+  auto baseline = scenario::run_experiment(e2e_config(60, 43, false));
+  auto protected_run = scenario::run_experiment(e2e_config(60, 43, true));
+  EXPECT_GT(baseline.wormhole_routes, protected_run.wormhole_routes);
+  // After isolation no further wormhole routes can form.
+  if (protected_run.isolation_latency) {
+    const Time settled = protected_run.attack_start +
+                         *protected_run.isolation_latency;
+    for (Time t : protected_run.wormhole_route_times) {
+      EXPECT_LE(t, settled + 1.0);
+    }
+  }
+}
+
+TEST(EndToEnd, FourColludersAllIsolated) {
+  auto result = scenario::run_experiment(e2e_config(100, 44, true, 4));
+  EXPECT_EQ(result.malicious_count, 4u);
+  EXPECT_EQ(result.malicious_isolated, 4u);
+  EXPECT_EQ(result.false_isolations, 0u);
+}
+
+TEST(EndToEnd, MoreColludersMoreBaselineDamage) {
+  auto m2 = scenario::run_experiment(e2e_config(100, 45, false, 2));
+  auto m4 = scenario::run_experiment(e2e_config(100, 45, false, 4));
+  // Fig 9's trend; allow slack since a single seed is noisy.
+  EXPECT_GT(m4.fraction_dropped(), m2.fraction_dropped() * 0.8);
+  EXPECT_GT(m4.fraction_dropped(), 0.0);
+}
+
+TEST(EndToEnd, HigherGammaSlowerIsolation) {
+  auto fast = e2e_config(60, 46, true);
+  fast.liteworp.detection_confidence = 2;
+  fast.finalize();
+  auto slow = e2e_config(60, 46, true);
+  slow.liteworp.detection_confidence = 6;
+  slow.finalize();
+  auto fast_result = scenario::run_experiment(fast);
+  auto slow_result = scenario::run_experiment(slow);
+  ASSERT_TRUE(fast_result.isolation_latency.has_value());
+  if (slow_result.isolation_latency) {
+    EXPECT_GE(*slow_result.isolation_latency,
+              *fast_result.isolation_latency)
+        << "fig 10: latency grows with the detection confidence index";
+  }
+  // (If gamma=6 fails to completely isolate, that is fig 10's detection
+  // probability falling — also consistent with the paper.)
+}
+
+TEST(EndToEnd, AlertsComeFromMultipleGuards) {
+  auto result = scenario::run_experiment(e2e_config(60, 47, true));
+  EXPECT_GE(result.local_detections,
+            static_cast<std::uint64_t>(
+                e2e_config(60, 47, true).liteworp.detection_confidence))
+      << "complete isolation needs at least gamma alerting guards";
+}
+
+TEST(EndToEnd, BenignWormholeStillDetected) {
+  // "A wormhole tunnel can actually be useful if used for forwarding all
+  // the packets" — but LITEWORP still detects the control-plane lying.
+  auto config = e2e_config(60, 48, true);
+  config.attack.drop_data = false;
+  config.finalize();
+  auto result = scenario::run_experiment(config);
+  EXPECT_EQ(result.data_dropped_malicious, 0u);
+  EXPECT_EQ(result.malicious_isolated, result.malicious_count)
+      << "fabricated control traffic is the evidence, not the data loss";
+}
+
+TEST(EndToEnd, NaivePrevHopCaughtByAdmissionInstead) {
+  // The attacker that announces its colluder as previous hop never gets a
+  // route at all: every receiver rejects the bogus announcement.
+  auto config = e2e_config(60, 49, true);
+  config.attack.smart_prev_hop = false;
+  config.finalize();
+  auto result = scenario::run_experiment(config);
+  EXPECT_EQ(result.wormhole_routes, 0u);
+  // Residual loss comes from pre-attack routes that legitimately pass
+  // through the (then-honest) attackers and silently black-hole until the
+  // flows move on — data drops are not watched, per the paper.
+  EXPECT_LT(result.fraction_dropped(), 0.06);
+}
+
+}  // namespace
+}  // namespace lw

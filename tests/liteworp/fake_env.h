@@ -1,0 +1,51 @@
+// Minimal NodeEnv for protocol-agent unit tests: captures sent packets
+// instead of transmitting them.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "node/node_env.h"
+
+namespace lw::test {
+
+class FakeEnv final : public node::NodeEnv {
+ public:
+  explicit FakeEnv(NodeId id, std::uint64_t master_secret = 42)
+      : id_(id), keys_(master_secret), rng_(7) {}
+
+  NodeId id() const override { return id_; }
+  sim::Simulator& simulator() override { return sim_; }
+  pkt::PacketFactory& packet_factory() override { return factory_; }
+  const crypto::KeyManager& keys() const override { return keys_; }
+  Rng& rng() override { return rng_; }
+  std::size_t mac_queue_depth() const override { return queue_depth; }
+
+  /// Simulated MAC backlog (congestion-signal tests).
+  std::size_t queue_depth = 0;
+
+  void send(pkt::Packet packet, mac::SendOptions options = {}) override {
+    if (packet.claimed_tx == kInvalidNode) packet.claimed_tx = id_;
+    sent.emplace_back(std::move(packet), options);
+  }
+
+  /// Sent packets of a given type.
+  std::vector<pkt::Packet> sent_of(pkt::PacketType type) const {
+    std::vector<pkt::Packet> out;
+    for (const auto& [p, o] : sent) {
+      if (p.type == type) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<pkt::Packet, mac::SendOptions>> sent;
+
+ private:
+  NodeId id_;
+  sim::Simulator sim_;
+  pkt::PacketFactory factory_;
+  crypto::KeyManager keys_;
+  Rng rng_;
+};
+
+}  // namespace lw::test

@@ -1,0 +1,132 @@
+// Regression tests for the MAC subtleties the calibration uncovered:
+// control-response ordering, ACK-slot deferral, retransmission backoff.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/csma_mac.h"
+#include "topology/field.h"
+
+namespace lw::mac {
+namespace {
+
+class MacRegressionTest : public ::testing::Test {
+ protected:
+  // Chain 0 -- 1 -- 2 (spacing 20 m, range 25 m).
+  MacRegressionTest() : graph_({{0, 0}, {20, 0}, {40, 0}}, 25.0) {}
+
+  void build(MacParams mac_params = {}) {
+    medium_ =
+        std::make_unique<phy::Medium>(sim_, graph_, phy::PhyParams{}, Rng(1));
+    for (NodeId id = 0; id < graph_.size(); ++id) {
+      radios_.push_back(std::make_unique<phy::Radio>(id));
+      medium_->attach(radios_.back().get());
+      macs_.push_back(std::make_unique<CsmaMac>(
+          sim_, *medium_, *radios_.back(), Rng(100 + id), mac_params));
+      received_.emplace_back();
+      NodeId captured = id;
+      macs_.back()->set_upcall([this, captured](const pkt::Packet& p) {
+        received_[captured].push_back(p);
+      });
+    }
+  }
+
+  pkt::Packet unicast(NodeId from, NodeId to) {
+    pkt::Packet p = factory_.make(pkt::PacketType::kData);
+    p.claimed_tx = from;
+    p.link_dst = to;
+    p.payload_bytes = 32;
+    return p;
+  }
+
+  sim::Simulator sim_;
+  topo::DiscGraph graph_;
+  pkt::PacketFactory factory_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::vector<std::unique_ptr<phy::Radio>> radios_;
+  std::vector<std::unique_ptr<CsmaMac>> macs_;
+  std::vector<std::vector<pkt::Packet>> received_;
+};
+
+TEST_F(MacRegressionTest, ForwardNeverOvertakesPendingAck) {
+  // The hop-chain self-collision bug: node 1 receives a frame and
+  // immediately queues a forward; its ACK (still in the SIFS delay) must
+  // leave FIRST, or node 1 transmits exactly when node 2's ACK arrives.
+  build();
+  macs_[0]->send(unicast(0, 1));
+  // Node 1 reacts to the delivery by instantly queueing a forward, like
+  // the routing layer does.
+  macs_[1]->set_upcall([this](const pkt::Packet& p) {
+    received_[1].push_back(p);
+    if (p.link_dst == 1) macs_[1]->send(unicast(1, 2));
+  });
+  sim_.run_all();
+  ASSERT_EQ(received_[2].size(), 1u);
+  EXPECT_EQ(macs_[0]->stats().retransmissions, 0u)
+      << "node 0 never got its ACK: the forward overtook it";
+  EXPECT_EQ(macs_[1]->stats().retransmissions, 0u);
+  EXPECT_EQ(medium_->stats().frames_collided, 0u);
+}
+
+TEST_F(MacRegressionTest, OverhearersDeferThroughAckSlot) {
+  // Node 2 overhears 1 -> 0 and must not transmit into 0's ACK.
+  build();
+  macs_[1]->send(unicast(1, 0));
+  bool checked = false;
+  // Just after the data frame ends at node 2, its NAV must cover the ACK.
+  pkt::Packet probe = unicast(1, 0);
+  const double duration = medium_->transmit_duration(probe);
+  sim_.schedule(duration + 1e-5, [this, &checked] {
+    EXPECT_GT(radios_[2]->nav_until(), sim_.now())
+        << "no ACK-slot reservation";
+    checked = true;
+  });
+  sim_.run_all();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(MacRegressionTest, RetransmissionsBackOff) {
+  // Node 0 sends to unreachable node 2: every attempt times out. The gaps
+  // between successive attempts must grow (contention window doubling).
+  build();
+  macs_[0]->send(unicast(0, 2));
+  std::vector<Time> attempt_times;
+  macs_[1]->set_upcall([this, &attempt_times](const pkt::Packet& p) {
+    if (p.link_dst == 2) attempt_times.push_back(sim_.now());
+  });
+  sim_.run_all();
+  ASSERT_GE(attempt_times.size(), 3u);
+  // Not strictly monotone per-sample (backoff is random), but the later
+  // gaps must on average exceed the first.
+  const double first_gap = attempt_times[1] - attempt_times[0];
+  const double last_gap =
+      attempt_times.back() - attempt_times[attempt_times.size() - 2];
+  EXPECT_GT(last_gap, first_gap * 0.5)
+      << "later retransmissions should not come faster than early ones";
+  EXPECT_EQ(macs_[0]->stats().dropped_no_ack, 1u);
+}
+
+TEST_F(MacRegressionTest, LeashStampFreshForHonestSender) {
+  build();
+  pkt::Packet p = unicast(0, 1);
+  macs_[0]->send(p);
+  sim_.run_all();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_GE(received_[1][0].leash_timestamp, 0.0);
+}
+
+TEST_F(MacRegressionTest, LeashStampPreservedForSpoofedSender) {
+  build();
+  pkt::Packet p = unicast(0, 1);
+  p.claimed_tx = 2;           // spoof: claims to be node 2
+  p.leash_timestamp = 123.0;  // the original (replayed) stamp
+  macs_[0]->send(p);
+  sim_.run_all();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(received_[1][0].leash_timestamp, 123.0)
+      << "a spoofing transmitter cannot forge a fresh authenticated stamp";
+}
+
+}  // namespace
+}  // namespace lw::mac

@@ -1,0 +1,108 @@
+// Neighbor table: first/second hop knowledge, revocation, storage model.
+#include <gtest/gtest.h>
+
+#include "neighbor/neighbor_table.h"
+
+namespace lw::nbr {
+namespace {
+
+TEST(NeighborTable, AddAndQuery) {
+  NeighborTable table;
+  table.add_neighbor(3);
+  EXPECT_TRUE(table.knows_neighbor(3));
+  EXPECT_TRUE(table.is_active_neighbor(3));
+  EXPECT_FALSE(table.knows_neighbor(4));
+  EXPECT_EQ(table.neighbor_count(), 1u);
+}
+
+TEST(NeighborTable, DuplicateAddIdempotent) {
+  NeighborTable table;
+  table.add_neighbor(3);
+  table.add_neighbor(3);
+  EXPECT_EQ(table.neighbor_count(), 1u);
+}
+
+TEST(NeighborTable, NeighborOrderPreserved) {
+  NeighborTable table;
+  table.add_neighbor(5);
+  table.add_neighbor(2);
+  table.add_neighbor(9);
+  EXPECT_EQ(table.neighbors(), (std::vector<NodeId>{5, 2, 9}));
+}
+
+TEST(NeighborTable, SecondHopListsQueryable) {
+  NeighborTable table;
+  table.add_neighbor(3);
+  table.set_neighbor_list(3, {7, 8});
+  EXPECT_TRUE(table.has_list_of(3));
+  EXPECT_TRUE(table.in_list_of(3, 7));
+  EXPECT_FALSE(table.in_list_of(3, 9));
+  ASSERT_NE(table.list_of(3), nullptr);
+  EXPECT_EQ(*table.list_of(3), (std::vector<NodeId>{7, 8}));
+}
+
+TEST(NeighborTable, ListFromUnknownNodeIgnored) {
+  NeighborTable table;
+  table.set_neighbor_list(3, {7, 8});
+  EXPECT_FALSE(table.has_list_of(3));
+  EXPECT_FALSE(table.in_list_of(3, 7));
+}
+
+TEST(NeighborTable, WithinTwoHops) {
+  NeighborTable table;
+  table.add_neighbor(3);
+  table.set_neighbor_list(3, {7, 8});
+  EXPECT_TRUE(table.is_within_two_hops(3));   // first hop
+  EXPECT_TRUE(table.is_within_two_hops(7));   // second hop
+  EXPECT_FALSE(table.is_within_two_hops(42));
+}
+
+TEST(NeighborTable, RevocationSemantics) {
+  NeighborTable table;
+  table.add_neighbor(3);
+  table.revoke(3);
+  EXPECT_TRUE(table.knows_neighbor(3)) << "revoked stays in the table";
+  EXPECT_FALSE(table.is_active_neighbor(3));
+  EXPECT_TRUE(table.is_revoked(3));
+  EXPECT_EQ(table.revoked_count(), 1u);
+}
+
+TEST(NeighborTable, RevokeUnknownIsNoop) {
+  NeighborTable table;
+  table.revoke(99);
+  EXPECT_FALSE(table.is_revoked(99));
+  EXPECT_EQ(table.revoked_count(), 0u);
+}
+
+TEST(NeighborTable, ActiveNeighborsExcludeRevoked) {
+  NeighborTable table;
+  table.add_neighbor(1);
+  table.add_neighbor(2);
+  table.add_neighbor(3);
+  table.revoke(2);
+  EXPECT_EQ(table.active_neighbors(), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(NeighborTable, StorageMatchesPaperCostModel) {
+  // 5 bytes per first-hop entry (id + MalC) plus 4 per second-hop entry.
+  NeighborTable table;
+  for (NodeId n = 0; n < 10; ++n) table.add_neighbor(n);
+  for (NodeId n = 0; n < 10; ++n) {
+    table.set_neighbor_list(n, std::vector<NodeId>(10, 99));
+  }
+  EXPECT_EQ(table.storage_bytes(), 5u * 10 + 4u * 100);
+  // The paper's headline: under half a kilobyte at N_B = 10.
+  EXPECT_LT(table.storage_bytes(), 512u);
+}
+
+TEST(NeighborTable, ListReplacementOverwrites) {
+  NeighborTable table;
+  table.add_neighbor(3);
+  table.set_neighbor_list(3, {7});
+  table.set_neighbor_list(3, {8, 9});
+  EXPECT_FALSE(table.in_list_of(3, 7));
+  EXPECT_TRUE(table.in_list_of(3, 8));
+}
+
+}  // namespace
+}  // namespace lw::nbr

@@ -1,0 +1,84 @@
+// ARAN-style fastest-reply routing (Section 3.1): counters the
+// packet-encapsulation wormhole as a by-product — but not the genuinely
+// fast out-of-band channel.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.h"
+
+namespace lw::routing {
+namespace {
+
+scenario::ExperimentConfig aran_config(attack::WormholeMode mode,
+                                       bool fastest, std::uint64_t seed) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = 60;
+  config.seed = seed;
+  config.duration = 400.0;
+  config.malicious_count = 2;
+  config.attack.mode = mode;
+  // Realistic encapsulation latency: the tunneled packet physically rides
+  // a multihop unicast path between the colluders. Comparable to a flood
+  // hop so the Figure-1 race is meaningful.
+  config.attack.encapsulation_per_hop_delay = 1.5;
+  config.liteworp.enabled = false;  // this is a routing-policy experiment
+  config.routing.prefer_fastest_reply = fastest;
+  config.finalize();
+  return config;
+}
+
+TEST(AranFastestReply, BluntsEncapsulation) {
+  // Shortest-hops selection falls for the hop-count lie even when the
+  // tunneled REQ arrives LATE (the destination answers later-but-shorter
+  // copies)...
+  auto shortest = scenario::run_experiment(
+      aran_config(attack::WormholeMode::kEncapsulation, false, 61));
+  EXPECT_GT(shortest.wormhole_routes, 5u);
+  // ...while first-reply-wins ignores the late liar (Section 3.1): both
+  // captured routes and swallowed traffic drop sharply.
+  auto fastest = scenario::run_experiment(
+      aran_config(attack::WormholeMode::kEncapsulation, true, 61));
+  EXPECT_LT(fastest.wormhole_routes, shortest.wormhole_routes);
+  EXPECT_LT(fastest.data_dropped_malicious,
+            shortest.data_dropped_malicious * 7 / 10)
+      << "the slow tunnel must lose most of its traffic share";
+}
+
+TEST(AranFastestReply, ShortestHopsRewardsLateLiars) {
+  // The essence of the vulnerability: under shortest-hops selection, a
+  // tunnel that has already LOST every latency race (its copies arrive
+  // well after the flood) still captures routes, because the destination
+  // answers later-but-shorter claims. Tripling the (already losing)
+  // tunnel latency barely moves the capture count.
+  auto cfg_slow = aran_config(attack::WormholeMode::kEncapsulation, false, 61);
+  cfg_slow.attack.encapsulation_per_hop_delay = 1.5;
+  cfg_slow.finalize();
+  auto slow = scenario::run_experiment(cfg_slow);
+  auto cfg_mid = aran_config(attack::WormholeMode::kEncapsulation, false, 61);
+  cfg_mid.attack.encapsulation_per_hop_delay = 0.5;
+  cfg_mid.finalize();
+  auto mid = scenario::run_experiment(cfg_mid);
+  ASSERT_GT(mid.wormhole_routes, 5u);
+  EXPECT_GT(slow.wormhole_routes * 2, mid.wormhole_routes)
+      << "in the already-late regime the hop-count claim does the work";
+}
+
+TEST(AranFastestReply, DoesNotCounterOutOfBand) {
+  // The out-of-band tunnel genuinely IS the fastest path: ARAN's choice
+  // rewards it (Section 3.2).
+  auto fastest = scenario::run_experiment(
+      aran_config(attack::WormholeMode::kOutOfBand, true, 61));
+  EXPECT_GT(fastest.wormhole_routes, 0u);
+}
+
+TEST(AranFastestReply, HonestNetworkStillRoutes) {
+  auto config = aran_config(attack::WormholeMode::kOutOfBand, true, 62);
+  config.malicious_count = 0;
+  config.finalize();
+  auto result = scenario::run_experiment(config);
+  const double delivery = static_cast<double>(result.data_delivered) /
+                          static_cast<double>(result.data_originated);
+  EXPECT_GT(delivery, 0.85);
+}
+
+}  // namespace
+}  // namespace lw::routing

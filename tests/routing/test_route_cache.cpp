@@ -1,0 +1,99 @@
+// Route cache: insertion policy, idle timeout, eviction.
+#include <gtest/gtest.h>
+
+#include "routing/route_cache.h"
+
+namespace lw::routing {
+namespace {
+
+TEST(RouteCache, InsertAndLookup) {
+  RouteCache cache(50.0);
+  EXPECT_TRUE(cache.insert({0, 1, 2}, 10.0));
+  const Route* route = cache.lookup(2, 11.0);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(route->hop_count(), 2u);
+}
+
+TEST(RouteCache, MissingDestination) {
+  RouteCache cache(50.0);
+  EXPECT_EQ(cache.lookup(9, 0.0), nullptr);
+}
+
+TEST(RouteCache, ShorterRouteReplaces) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 2, 3}, 10.0);
+  EXPECT_TRUE(cache.insert({0, 5, 3}, 11.0));
+  EXPECT_EQ(cache.lookup(3, 12.0)->hop_count(), 2u);
+}
+
+TEST(RouteCache, LongerRouteDoesNotReplaceLiveOne) {
+  RouteCache cache(50.0);
+  cache.insert({0, 5, 3}, 10.0);
+  EXPECT_FALSE(cache.insert({0, 1, 2, 3}, 11.0));
+  EXPECT_EQ(cache.lookup(3, 12.0)->hop_count(), 2u);
+}
+
+TEST(RouteCache, EqualLengthDoesNotReplace) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 3}, 10.0);
+  EXPECT_FALSE(cache.insert({0, 2, 3}, 11.0));
+  EXPECT_EQ(cache.lookup(3, 12.0)->path[1], 1u);
+}
+
+TEST(RouteCache, ExpiresAfterIdleTimeout) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 2}, 10.0);
+  EXPECT_EQ(cache.lookup(2, 60.1), nullptr);
+  EXPECT_EQ(cache.size(), 0u) << "expired entry erased lazily";
+}
+
+TEST(RouteCache, LookupRefreshesIdleTimeout) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 2}, 10.0);
+  EXPECT_NE(cache.lookup(2, 50.0), nullptr);  // refresh at t=50
+  EXPECT_NE(cache.lookup(2, 99.0), nullptr)
+      << "active route must survive past the original expiry";
+}
+
+TEST(RouteCache, PeekDoesNotRefresh) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 2}, 10.0);
+  EXPECT_NE(cache.peek(2, 50.0), nullptr);
+  EXPECT_EQ(cache.peek(2, 61.0), nullptr)
+      << "peek at t=50 must not extend the 10+50 expiry";
+}
+
+TEST(RouteCache, ExpiredRouteAlwaysReplaced) {
+  RouteCache cache(50.0);
+  cache.insert({0, 5, 3}, 10.0);
+  // Longer route, but the short one has expired.
+  EXPECT_TRUE(cache.insert({0, 1, 2, 3}, 70.0));
+  EXPECT_EQ(cache.lookup(3, 71.0)->hop_count(), 3u);
+}
+
+TEST(RouteCache, EvictContaining) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 2}, 10.0);
+  cache.insert({0, 1, 5}, 10.0);
+  cache.insert({0, 7, 8}, 10.0);
+  EXPECT_EQ(cache.evict_containing(1), 2u);
+  EXPECT_EQ(cache.lookup(2, 11.0), nullptr);
+  EXPECT_EQ(cache.lookup(5, 11.0), nullptr);
+  EXPECT_NE(cache.lookup(8, 11.0), nullptr);
+}
+
+TEST(RouteCache, EvictDestination) {
+  RouteCache cache(50.0);
+  cache.insert({0, 1, 2}, 10.0);
+  cache.evict_destination(2);
+  EXPECT_EQ(cache.lookup(2, 11.0), nullptr);
+}
+
+TEST(RouteCache, TrivialRouteRejected) {
+  RouteCache cache(50.0);
+  EXPECT_THROW(cache.insert({3}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lw::routing

@@ -1,0 +1,213 @@
+// On-demand routing protocol behaviour on small networks.
+#include <gtest/gtest.h>
+
+#include "scenario/network.h"
+
+namespace lw::routing {
+namespace {
+
+/// True if `from` can still reach `to` with `avoid` removed from the graph.
+bool reachable_avoiding(const topo::DiscGraph& graph, NodeId from, NodeId to,
+                        NodeId avoid) {
+  std::vector<bool> seen(graph.size(), false);
+  std::vector<NodeId> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    NodeId current = stack.back();
+    stack.pop_back();
+    if (current == to) return true;
+    for (NodeId next : graph.neighbors(current)) {
+      if (next == avoid || seen[next]) continue;
+      seen[next] = true;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+scenario::ExperimentConfig manual_config(std::size_t nodes,
+                                         std::uint64_t seed) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = nodes;
+  config.seed = seed;
+  config.malicious_count = 0;
+  config.traffic.data_rate = 0.0;
+  config.oracle_discovery = true;
+  config.phy.collisions_enabled = false;
+  config.finalize();
+  return config;
+}
+
+TEST(Routing, EstablishedRouteFollowsRealLinks) {
+  scenario::Network net(manual_config(30, 3));
+  net.run_until(5.0);
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(30.0);
+  ASSERT_GE(net.metrics().routes_established, 1u);
+  const Route* route = net.node(0).routing().cache().lookup(29, 30.0);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->path.front(), 0u);
+  EXPECT_EQ(route->path.back(), 29u);
+  for (std::size_t i = 0; i + 1 < route->path.size(); ++i) {
+    EXPECT_TRUE(net.graph().is_neighbor(route->path[i], route->path[i + 1]));
+  }
+}
+
+TEST(Routing, RouteIsShortestWithinJitterNoise) {
+  scenario::Network net(manual_config(30, 3));
+  net.run_until(5.0);
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(30.0);
+  const Route* route = net.node(0).routing().cache().lookup(29, 30.0);
+  ASSERT_NE(route, nullptr);
+  auto optimal = net.graph().hop_distance(0, 29);
+  ASSERT_TRUE(optimal.has_value());
+  // The destination answers the first and every shorter copy; with
+  // collision-free flooding the cached route converges to optimal, or at
+  // most one hop above it (jitter can starve an optimal branch).
+  EXPECT_LE(route->hop_count(), *optimal + 1);
+  EXPECT_GE(route->hop_count(), *optimal);
+}
+
+TEST(Routing, PendingQueueOverflowDropsAsNoRoute) {
+  scenario::Network net(manual_config(20, 5));
+  net.run_until(5.0);
+  auto& routing = net.node(0).routing();
+  // Unreachable destination id? All ids exist; instead revoke the only
+  // path... simpler: flood the pending queue faster than discovery can
+  // resolve (it resolves within ~2 s, so enqueue synchronously).
+  const std::size_t limit = net.config().routing.pending_queue_limit;
+  for (std::size_t i = 0; i < limit + 5; ++i) {
+    routing.send_data(19, 32);
+  }
+  EXPECT_EQ(net.metrics().data_dropped_no_route, 5u);
+  net.run_until(40.0);
+  EXPECT_EQ(net.metrics().data_delivered, limit);
+}
+
+TEST(Routing, QueuedDataFlushedOnRouteEstablishment) {
+  scenario::Network net(manual_config(20, 6));
+  net.run_until(5.0);
+  for (int i = 0; i < 5; ++i) net.node(0).routing().send_data(19, 32);
+  net.run_until(40.0);
+  EXPECT_EQ(net.metrics().data_delivered, 5u);
+  EXPECT_EQ(net.metrics().discoveries, 1u)
+      << "one flood serves all queued packets";
+}
+
+TEST(Routing, RevocationEvictsRoutesAndTriggersRerouting) {
+  scenario::Network net(manual_config(30, 3));
+  net.run_until(5.0);
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(30.0);
+  const Route* route = net.node(0).routing().cache().lookup(29, 30.0);
+  ASSERT_NE(route, nullptr);
+  ASSERT_GT(route->path.size(), 2u) << "need a multihop route";
+  // Pick an intermediate hop whose removal does not disconnect the pair
+  // (an articulation point cannot be routed around by any protocol).
+  NodeId middle = kInvalidNode;
+  for (std::size_t i = 1; i + 1 < route->path.size(); ++i) {
+    if (reachable_avoiding(net.graph(), 0, 29, route->path[i])) {
+      middle = route->path[i];
+      break;
+    }
+  }
+  if (middle == kInvalidNode) {
+    GTEST_SKIP() << "every intermediate hop is an articulation point";
+  }
+
+  // Model the isolation end-state: every neighbor of `middle` revokes it
+  // (this is what gamma alerts produce); the flood then routes around it.
+  // The source also learns (it may itself be a neighbor, or hear a RERR).
+  for (NodeId nb : net.graph().neighbors(middle)) {
+    net.node(nb).table().revoke(middle);
+    net.node(nb).routing().on_revoked(middle);
+  }
+  net.node(0).table().revoke(middle);
+  net.node(0).routing().on_revoked(middle);
+  EXPECT_EQ(net.node(0).routing().cache().lookup(29, 30.0), nullptr);
+
+  // Next packet re-discovers around the revoked node.
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(60.0);
+  const Route* fresh = net.node(0).routing().cache().lookup(29, 60.0);
+  ASSERT_NE(fresh, nullptr);
+  for (NodeId hop : fresh->path) EXPECT_NE(hop, middle);
+}
+
+TEST(Routing, RouteErrorTearsDownStaleRoute) {
+  scenario::Network net(manual_config(30, 3));
+  net.run_until(5.0);
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(30.0);
+  const Route* route = net.node(0).routing().cache().lookup(29, 30.0);
+  ASSERT_NE(route, nullptr);
+  ASSERT_GE(route->path.size(), 4u) << "need >= 3 hops for a mid-route break";
+  const std::vector<NodeId> path = route->path;
+  // Pick a broken hop that (a) is not adjacent to the source — so the
+  // source stays unaware and must learn via RERR — and (b) whose removal
+  // keeps the pair connected.
+  NodeId breaker = kInvalidNode;
+  NodeId broken = kInvalidNode;
+  for (std::size_t i = 2; i + 1 < path.size(); ++i) {
+    if (!net.graph().is_neighbor(0, path[i]) &&
+        reachable_avoiding(net.graph(), 0, 29, path[i])) {
+      breaker = path[i - 1];
+      broken = path[i];
+      break;
+    }
+  }
+  if (broken == kInvalidNode) {
+    GTEST_SKIP() << "no suitable mid-route hop in this topology";
+  }
+  for (NodeId nb : net.graph().neighbors(broken)) {
+    net.node(nb).table().revoke(broken);
+    net.node(nb).routing().on_revoked(broken);
+  }
+
+  // Source keeps sending: the breaker refuses, sends a RERR, and the
+  // source re-discovers a clean route.
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(35.0);
+  EXPECT_GE(net.node(0).routing().refused_next_hop_revoked() +
+                net.node(breaker).routing().refused_next_hop_revoked(),
+            1u);
+  net.node(0).routing().send_data(29, 32);
+  net.run_until(70.0);
+  const Route* fresh = net.node(0).routing().cache().lookup(29, 70.0);
+  ASSERT_NE(fresh, nullptr);
+  for (std::size_t i = 0; i + 1 < fresh->path.size(); ++i) {
+    EXPECT_FALSE(fresh->path[i] == breaker && fresh->path[i + 1] == broken)
+        << "fresh route must avoid the broken link";
+  }
+}
+
+TEST(Routing, DuplicateRequestsNotForwardedTwice) {
+  scenario::Network net(manual_config(20, 8));
+  net.run_until(5.0);
+  net.node(0).routing().send_data(19, 32);
+  net.run_until(40.0);
+  // Every node forwards a given REQ at most once: total REQ transmissions
+  // are bounded by the node count (origin + forwards), even though every
+  // node hears several copies.
+  const auto req_tx = net.medium().stats().tx_by_type[static_cast<std::size_t>(
+      pkt::PacketType::kRouteRequest)];
+  EXPECT_LE(req_tx, static_cast<std::uint64_t>(net.size()));
+  EXPECT_GE(req_tx, 3u);
+}
+
+TEST(Routing, BroadcastSuppressionLimitsForwards) {
+  auto config = manual_config(40, 9);
+  scenario::Network net(config);
+  net.run_until(5.0);
+  net.node(0).routing().send_data(39, 32);
+  net.run_until(40.0);
+  const auto req_tx = net.medium().stats().tx_by_type[static_cast<std::size_t>(
+      pkt::PacketType::kRouteRequest)];
+  // With counter-based suppression at threshold 2, dense clusters forward
+  // far fewer than all 40 copies.
+  EXPECT_LT(req_tx, 35u);
+}
+
+}  // namespace
+}  // namespace lw::routing

@@ -1,0 +1,193 @@
+// Scenario wiring: topology constraints, determinism, config handling.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.h"
+
+namespace lw::scenario {
+namespace {
+
+TEST(Config, TableTwoDefaults) {
+  auto config = ExperimentConfig::table2_defaults();
+  EXPECT_EQ(config.node_count, 100u);
+  EXPECT_DOUBLE_EQ(config.radio_range, 30.0);
+  EXPECT_DOUBLE_EQ(config.target_neighbors, 8.0);
+  EXPECT_DOUBLE_EQ(config.phy.bandwidth_bps, 40000.0);
+  EXPECT_DOUBLE_EQ(config.routing.route_timeout, 50.0);
+  EXPECT_DOUBLE_EQ(config.traffic.destination_change_rate, 1.0 / 200.0);
+  EXPECT_DOUBLE_EQ(config.attack.start_time, 50.0);
+  EXPECT_DOUBLE_EQ(config.duration, 2000.0);
+  EXPECT_TRUE(config.liteworp.enabled);
+}
+
+TEST(Config, FinalizeOrdersPhases) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.traffic.start_time = 0.0;  // silly value
+  config.attack.start_time = 1.0;
+  config.finalize();
+  EXPECT_GE(config.traffic.start_time, config.phy.collision_free_until);
+  EXPECT_GE(config.attack.start_time, config.traffic.start_time);
+}
+
+TEST(Config, SummaryMentionsKeyParameters) {
+  auto config = ExperimentConfig::table2_defaults();
+  std::string text = config.summary();
+  EXPECT_NE(text.find("30 m"), std::string::npos);
+  EXPECT_NE(text.find("40 kbps"), std::string::npos);
+  EXPECT_NE(text.find("out-of-band"), std::string::npos);
+}
+
+TEST(Network, TopologyIsConnectedWithSeparatedAttackers) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 50;
+  config.seed = 17;
+  config.duration = 1.0;
+  config.malicious_count = 2;
+  config.finalize();
+  Network net(config);
+  EXPECT_TRUE(net.graph().connected());
+  ASSERT_EQ(net.malicious_ids().size(), 2u);
+  auto hops = net.graph().hop_distance(net.malicious_ids()[0],
+                                       net.malicious_ids()[1]);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_GE(*hops, 3u) << "paper: colluders more than 2 hops apart";
+}
+
+TEST(Network, DensityNearTarget) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 100;
+  config.seed = 1;
+  config.duration = 1.0;
+  config.finalize();
+  Network net(config);
+  EXPECT_GT(net.average_degree(), 5.0);
+  EXPECT_LT(net.average_degree(), 11.0);
+}
+
+TEST(Network, ZeroMaliciousIsClean) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 30;
+  config.seed = 4;
+  config.duration = 120.0;
+  config.malicious_count = 0;
+  config.finalize();
+  RunResult result = run_experiment(config);
+  EXPECT_EQ(result.malicious_count, 0u);
+  EXPECT_EQ(result.data_dropped_malicious, 0u);
+  EXPECT_EQ(result.wormhole_routes, 0u);
+  EXPECT_TRUE(result.all_isolated) << "vacuously true";
+}
+
+TEST(Network, DeterministicForSameSeed) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 40;
+  config.seed = 12;
+  config.duration = 200.0;
+  config.finalize();
+  RunResult a = run_experiment(config);
+  RunResult b = run_experiment(config);
+  EXPECT_EQ(a.data_originated, b.data_originated);
+  EXPECT_EQ(a.data_delivered, b.data_delivered);
+  EXPECT_EQ(a.data_dropped_malicious, b.data_dropped_malicious);
+  EXPECT_EQ(a.routes_established, b.routes_established);
+  EXPECT_EQ(a.frames_transmitted, b.frames_transmitted);
+  EXPECT_EQ(a.local_detections, b.local_detections);
+}
+
+TEST(Network, DifferentSeedsDiffer) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 40;
+  config.duration = 200.0;
+  config.seed = 12;
+  config.finalize();
+  RunResult a = run_experiment(config);
+  config.seed = 13;
+  RunResult b = run_experiment(config);
+  EXPECT_NE(a.frames_transmitted, b.frames_transmitted);
+}
+
+TEST(Runner, CumulativeSeriesShape) {
+  std::vector<Time> times{10.0, 20.0, 20.0, 90.0};
+  auto series = cumulative_series(times, 100.0, 25.0);
+  ASSERT_EQ(series.size(), 5u);  // t = 0, 25, 50, 75, 100
+  EXPECT_DOUBLE_EQ(series[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(series[4].value, 4.0);
+}
+
+TEST(Runner, AverageRunsAggregates) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 30;
+  config.duration = 150.0;
+  config.malicious_count = 0;
+  config.finalize();
+  Aggregate agg = average_runs(config, 2, 100);
+  EXPECT_EQ(agg.runs, 2);
+  EXPECT_GT(agg.data_originated, 0.0);
+  EXPECT_DOUBLE_EQ(agg.detection_probability, 1.0) << "nothing to miss";
+  EXPECT_DOUBLE_EQ(agg.fraction_dropped, 0.0);
+}
+
+TEST(Network, ExplicitPositionsHonored) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 4;
+  config.positions = std::vector<topo::Position>{
+      {0, 0}, {20, 0}, {40, 0}, {60, 0}};
+  config.malicious_count = 0;
+  config.traffic.data_rate = 0.0;
+  config.duration = 1.0;
+  config.finalize();
+  Network net(config);
+  EXPECT_DOUBLE_EQ(net.graph().position(2).x, 40.0);
+  EXPECT_TRUE(net.graph().is_neighbor(0, 1));
+  EXPECT_FALSE(net.graph().is_neighbor(0, 2));
+}
+
+TEST(Network, ExplicitPositionsSizeMismatchThrows) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 5;
+  config.positions = std::vector<topo::Position>{{0, 0}, {20, 0}};
+  config.malicious_count = 0;
+  config.finalize();
+  EXPECT_THROW(Network net(config), std::invalid_argument);
+}
+
+TEST(Network, ExplicitMaliciousNodesHonored) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 6;
+  config.positions = std::vector<topo::Position>{
+      {0, 0}, {20, 0}, {40, 0}, {60, 0}, {10, 20}, {50, 20}};
+  config.malicious_count = 2;
+  config.malicious_nodes = {4, 5};
+  config.traffic.data_rate = 0.0;
+  config.duration = 1.0;
+  config.finalize();
+  Network net(config);
+  EXPECT_EQ(net.malicious_ids(), (std::vector<NodeId>{4, 5}));
+}
+
+TEST(Network, ExplicitMaliciousOutOfBoundsThrows) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 4;
+  config.positions = std::vector<topo::Position>{
+      {0, 0}, {20, 0}, {40, 0}, {60, 0}};
+  config.malicious_count = 1;
+  config.malicious_nodes = {9};
+  config.finalize();
+  EXPECT_THROW(Network net(config), std::invalid_argument);
+}
+
+TEST(Network, RunUntilIsMonotonic) {
+  auto config = ExperimentConfig::table2_defaults();
+  config.node_count = 20;
+  config.seed = 6;
+  config.duration = 100.0;
+  config.finalize();
+  Network net(config);
+  net.run_until(30.0);
+  const auto mid = net.metrics().data_originated;
+  net.run_until(100.0);
+  EXPECT_GE(net.metrics().data_originated, mid);
+}
+
+}  // namespace
+}  // namespace lw::scenario

@@ -1,0 +1,128 @@
+// Metrics collector: ground-truth classification and isolation tracking.
+#include <gtest/gtest.h>
+
+#include "stats/metrics.h"
+#include "topology/field.h"
+
+namespace lw::stats {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  // Line 0-1-2-3-4 (spacing 20, range 25): consecutive nodes adjacent.
+  MetricsTest()
+      : graph_(topo::place_line(5, 20.0), 25.0),
+        metrics_(sim_, graph_, {2}) {}
+
+  sim::Simulator sim_;
+  topo::DiscGraph graph_;
+  MetricsCollector metrics_;
+};
+
+TEST_F(MetricsTest, PhysicalRouteIsClean) {
+  metrics_.on_route_established(0, {0, 1, 2, 3});
+  EXPECT_EQ(metrics_.routes_established, 1u);
+  EXPECT_EQ(metrics_.wormhole_routes, 0u);
+  EXPECT_EQ(metrics_.routes_via_malicious, 1u) << "node 2 is malicious";
+  EXPECT_EQ(metrics_.routes_via_malicious_transit, 1u);
+}
+
+TEST_F(MetricsTest, FakeLinkClassifiedAsWormhole) {
+  // 1 -> 4 is not a physical link (60 m apart).
+  metrics_.on_route_established(0, {0, 1, 4});
+  EXPECT_EQ(metrics_.wormhole_routes, 1u);
+  EXPECT_EQ(metrics_.wormhole_route_times.size(), 1u);
+}
+
+TEST_F(MetricsTest, MaliciousEndpointIsNotTransit) {
+  metrics_.on_route_established(2, {2, 3, 4});
+  EXPECT_EQ(metrics_.routes_via_malicious, 1u);
+  EXPECT_EQ(metrics_.routes_via_malicious_transit, 0u)
+      << "the malicious node's own traffic is not a captured route";
+}
+
+TEST_F(MetricsTest, IsolationRequiresAllHonestNeighbors) {
+  // Malicious node 2 has honest neighbors {1, 3}.
+  const auto& record = metrics_.isolation().at(2);
+  EXPECT_EQ(record.required, (std::set<NodeId>{1, 3}));
+
+  metrics_.on_local_detection(1, 2);
+  EXPECT_FALSE(metrics_.all_malicious_isolated());
+  metrics_.on_isolation(3, 2, 3);
+  EXPECT_TRUE(metrics_.all_malicious_isolated());
+  EXPECT_EQ(metrics_.malicious_isolated_count(), 1u);
+}
+
+TEST_F(MetricsTest, IsolationLatencyIsMaxOverMalicious) {
+  sim_.schedule(10.0, [this] { metrics_.on_local_detection(1, 2); });
+  sim_.schedule(25.0, [this] { metrics_.on_isolation(3, 2, 3); });
+  sim_.run_all();
+  auto latency = metrics_.isolation_latency(/*attack_start=*/5.0);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_DOUBLE_EQ(*latency, 20.0);
+}
+
+TEST_F(MetricsTest, IncompleteIsolationHasNoLatency) {
+  metrics_.on_local_detection(1, 2);
+  EXPECT_FALSE(metrics_.isolation_latency(0.0).has_value());
+}
+
+TEST_F(MetricsTest, FalseAccusationsTracked) {
+  metrics_.on_local_detection(0, 3);  // node 3 is honest
+  EXPECT_EQ(metrics_.false_local_detections, 1u);
+  EXPECT_EQ(metrics_.false_isolations, 0u)
+      << "a lone guard's conviction is not a network isolation";
+  metrics_.on_isolation(4, 3, 3);  // gamma-confirmed: THE false alarm
+  EXPECT_EQ(metrics_.false_isolations, 1u);
+}
+
+TEST_F(MetricsTest, SuspicionClassification) {
+  metrics_.on_suspicion(0, 2, lite::Suspicion::kFabrication);
+  metrics_.on_suspicion(0, 3, lite::Suspicion::kDrop);
+  EXPECT_EQ(metrics_.suspicions_fabrication, 1u);
+  EXPECT_EQ(metrics_.suspicions_drop, 1u);
+  EXPECT_EQ(metrics_.false_suspicions, 1u) << "only the one against node 3";
+}
+
+TEST_F(MetricsTest, DropAccountingWithTimestamps) {
+  sim_.schedule(3.0, [this] {
+    pkt::Packet p;
+    metrics_.on_data_dropped(2, p);
+  });
+  sim_.run_all();
+  EXPECT_EQ(metrics_.data_dropped_malicious, 1u);
+  ASSERT_EQ(metrics_.drop_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics_.drop_times[0], 3.0);
+}
+
+TEST_F(MetricsTest, DeliveryLatencyStatistics) {
+  for (double latency : {1.0, 2.0, 3.0, 4.0}) {
+    sim_.schedule(10.0 + latency, [this, latency] {
+      pkt::Packet p;
+      p.created_at = 10.0;
+      (void)latency;
+      metrics_.on_data_delivered(4, p);
+    });
+  }
+  sim_.run_all();
+  ASSERT_EQ(metrics_.delivery_latencies.size(), 4u);
+  EXPECT_NEAR(metrics_.mean_delivery_latency(), 2.5, 1e-9);
+  EXPECT_NEAR(metrics_.latency_percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(metrics_.latency_percentile(100.0), 4.0, 1e-9);
+  EXPECT_NEAR(metrics_.latency_percentile(50.0), 2.5, 1e-9);
+}
+
+TEST_F(MetricsTest, LatencyOnEmptyRunIsZero) {
+  EXPECT_DOUBLE_EQ(metrics_.mean_delivery_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics_.latency_percentile(95.0), 0.0);
+}
+
+TEST(MetricsCumulative, CumulativeAtCountsSortedTimes) {
+  std::vector<Time> times{1.0, 2.0, 2.0, 5.0};
+  EXPECT_EQ(MetricsCollector::cumulative_at(times, 0.5), 0u);
+  EXPECT_EQ(MetricsCollector::cumulative_at(times, 2.0), 3u);
+  EXPECT_EQ(MetricsCollector::cumulative_at(times, 10.0), 4u);
+}
+
+}  // namespace
+}  // namespace lw::stats

@@ -1,0 +1,210 @@
+// Field placement and unit-disc graph properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/disc_graph.h"
+#include "topology/field.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace lw::topo {
+namespace {
+
+TEST(Field, SideForDensityMatchesFormula) {
+  // N_B = pi r^2 N / side^2  =>  side = r sqrt(pi N / N_B).
+  double side = field_side_for_density(100, 30.0, 8.0);
+  EXPECT_NEAR(side, 30.0 * std::sqrt(kPi * 100 / 8.0), 1e-9);
+  // Re-derive the target density from the side.
+  double density = 100.0 / (side * side);
+  EXPECT_NEAR(kPi * 30.0 * 30.0 * density, 8.0, 1e-9);
+}
+
+TEST(Field, SideScalesWithSqrtN) {
+  double s20 = field_side_for_density(20, 30.0, 8.0);
+  double s80 = field_side_for_density(80, 30.0, 8.0);
+  EXPECT_NEAR(s80 / s20, 2.0, 1e-9);
+}
+
+TEST(Field, InvalidArgumentsThrow) {
+  EXPECT_THROW(field_side_for_density(0, 30.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(field_side_for_density(10, -1.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(field_side_for_density(10, 30.0, 0.0), std::invalid_argument);
+}
+
+TEST(Field, UniformPlacementStaysInBounds) {
+  Rng rng(3);
+  Field field{120.0, 80.0};
+  auto positions = place_uniform(field, 500, rng);
+  ASSERT_EQ(positions.size(), 500u);
+  for (const auto& p : positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, field.width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, field.height);
+  }
+}
+
+TEST(Field, GridPlacementRegular) {
+  Field field{100.0, 100.0};
+  auto positions = place_grid(field, 4, 4);
+  ASSERT_EQ(positions.size(), 16u);
+  EXPECT_DOUBLE_EQ(positions[0].x, 12.5);
+  EXPECT_DOUBLE_EQ(positions[0].y, 12.5);
+  EXPECT_DOUBLE_EQ(positions[5].x, 37.5);
+  EXPECT_DOUBLE_EQ(positions[5].y, 37.5);
+}
+
+TEST(Field, LinePlacementSpacing) {
+  auto positions = place_line(5, 25.0);
+  ASSERT_EQ(positions.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(positions[i].x, 25.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(positions[i].y, 0.0);
+  }
+}
+
+DiscGraph line_graph(std::size_t n, double spacing, double range) {
+  return DiscGraph(place_line(n, spacing), range);
+}
+
+TEST(DiscGraph, AdjacencySymmetric) {
+  Rng rng(5);
+  Field field{150.0, 150.0};
+  DiscGraph graph(place_uniform(field, 60, rng), 30.0);
+  for (NodeId a = 0; a < graph.size(); ++a) {
+    for (NodeId b : graph.neighbors(a)) {
+      EXPECT_TRUE(graph.is_neighbor(b, a));
+    }
+  }
+}
+
+TEST(DiscGraph, AdjacencyMatchesDistance) {
+  Rng rng(6);
+  Field field{100.0, 100.0};
+  DiscGraph graph(place_uniform(field, 40, rng), 25.0);
+  for (NodeId a = 0; a < graph.size(); ++a) {
+    for (NodeId b = 0; b < graph.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(graph.is_neighbor(a, b), graph.distance(a, b) <= 25.0);
+    }
+  }
+}
+
+TEST(DiscGraph, LineChainStructure) {
+  DiscGraph graph = line_graph(5, 20.0, 25.0);
+  EXPECT_TRUE(graph.is_neighbor(0, 1));
+  EXPECT_FALSE(graph.is_neighbor(0, 2));
+  EXPECT_EQ(graph.degree(0), 1u);
+  EXPECT_EQ(graph.degree(2), 2u);
+  EXPECT_TRUE(graph.connected());
+}
+
+TEST(DiscGraph, HopDistanceOnChain) {
+  DiscGraph graph = line_graph(6, 20.0, 25.0);
+  EXPECT_EQ(graph.hop_distance(0, 5).value(), 5u);
+  EXPECT_EQ(graph.hop_distance(0, 0).value(), 0u);
+  EXPECT_EQ(graph.hop_distance(2, 4).value(), 2u);
+}
+
+TEST(DiscGraph, DisconnectedComponents) {
+  std::vector<Position> positions = {{0, 0}, {10, 0}, {500, 0}, {510, 0}};
+  DiscGraph graph(positions, 20.0);
+  EXPECT_FALSE(graph.connected());
+  EXPECT_FALSE(graph.hop_distance(0, 2).has_value());
+  EXPECT_TRUE(graph.shortest_path(0, 2).empty());
+}
+
+TEST(DiscGraph, ShortestPathEndpoints) {
+  DiscGraph graph = line_graph(6, 20.0, 25.0);
+  auto path = graph.shortest_path(1, 4);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 1u);
+  EXPECT_EQ(path.back(), 4u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(graph.is_neighbor(path[i], path[i + 1]));
+  }
+}
+
+TEST(DiscGraph, ShortestPathIsShortest) {
+  // Random graph: BFS path length must equal hop_distance for all pairs.
+  Rng rng(8);
+  Field field{120.0, 120.0};
+  DiscGraph graph(place_uniform(field, 30, rng), 35.0);
+  for (NodeId a = 0; a < graph.size(); ++a) {
+    for (NodeId b = 0; b < graph.size(); ++b) {
+      auto hops = graph.hop_distance(a, b);
+      auto path = graph.shortest_path(a, b);
+      if (hops) {
+        EXPECT_EQ(path.size(), *hops + 1);
+      } else {
+        EXPECT_TRUE(path.empty());
+      }
+    }
+  }
+}
+
+TEST(DiscGraph, AverageDegreeNearTarget) {
+  Rng rng(9);
+  double side = field_side_for_density(400, 30.0, 8.0);
+  Field field{side, side};
+  DiscGraph graph(place_uniform(field, 400, rng), 30.0);
+  // Border effects pull the average below the bulk target.
+  EXPECT_GT(graph.average_degree(), 5.5);
+  EXPECT_LT(graph.average_degree(), 9.5);
+}
+
+TEST(DiscGraph, GuardsOfLinkMatchDefinition) {
+  Rng rng(10);
+  Field field{100.0, 100.0};
+  DiscGraph graph(place_uniform(field, 40, rng), 30.0);
+  for (NodeId from = 0; from < graph.size(); ++from) {
+    for (NodeId to : graph.neighbors(from)) {
+      auto guards = graph.guards_of_link(from, to);
+      // The sender guards its own outgoing link.
+      EXPECT_NE(std::find(guards.begin(), guards.end(), from), guards.end());
+      // The receiver never guards its own incoming link.
+      EXPECT_EQ(std::find(guards.begin(), guards.end(), to), guards.end());
+      for (NodeId g : guards) {
+        if (g == from) continue;
+        EXPECT_TRUE(graph.is_neighbor(g, from));
+        EXPECT_TRUE(graph.is_neighbor(g, to));
+      }
+    }
+  }
+}
+
+TEST(DiscGraph, GuardCountTracksLensArea) {
+  // Statistical check of Section 5.1: the expected guard count of a random
+  // link is ~0.51 N_B (allow a wide tolerance; border effects bite).
+  Rng rng(11);
+  double side = field_side_for_density(600, 30.0, 10.0);
+  Field field{side, side};
+  DiscGraph graph(place_uniform(field, 600, rng), 30.0);
+  double total_guards = 0.0;
+  std::size_t links = 0;
+  for (NodeId from = 0; from < graph.size(); ++from) {
+    for (NodeId to : graph.neighbors(from)) {
+      // guards_of_link includes the sender; the analysis counts third
+      // parties plus the sender as well (it guards its own link).
+      total_guards += static_cast<double>(graph.guards_of_link(from, to).size());
+      ++links;
+    }
+  }
+  double avg_guards = total_guards / static_cast<double>(links);
+  double nb = graph.average_degree();
+  EXPECT_GT(avg_guards, 0.35 * nb);
+  EXPECT_LT(avg_guards, 0.75 * nb);
+}
+
+TEST(DiscGraph, InvalidRangeThrows) {
+  EXPECT_THROW(DiscGraph({{0, 0}}, 0.0), std::invalid_argument);
+}
+
+TEST(DiscGraph, OutOfRangeNodeThrows) {
+  DiscGraph graph = line_graph(3, 10.0, 15.0);
+  EXPECT_THROW((void)graph.shortest_path(0, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lw::topo

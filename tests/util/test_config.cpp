@@ -1,0 +1,82 @@
+// Config parsing: flags, typed getters, error handling, unread detection.
+#include <gtest/gtest.h>
+
+#include "util/config.h"
+
+namespace lw {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValuePairs) {
+  Config c = parse({"--nodes=100", "--seed=7"});
+  EXPECT_EQ(c.get_int("nodes", 0), 100);
+  EXPECT_EQ(c.get_int("seed", 0), 7);
+}
+
+TEST(Config, BareFlagIsTrue) {
+  Config c = parse({"--verbose"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  Config c = parse({});
+  EXPECT_EQ(c.get_int("nodes", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.5), 0.5);
+  EXPECT_EQ(c.get_string("mode", "oob"), "oob");
+  EXPECT_FALSE(c.get_bool("flag", false));
+}
+
+TEST(Config, PositionalsCollected) {
+  Config c = parse({"run", "--x=1", "fast"});
+  ASSERT_EQ(c.positionals().size(), 2u);
+  EXPECT_EQ(c.positionals()[0], "run");
+  EXPECT_EQ(c.positionals()[1], "fast");
+}
+
+TEST(Config, DoubleParsing) {
+  Config c = parse({"--rate=0.125"});
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0), 0.125);
+}
+
+TEST(Config, BoolVariants) {
+  Config c = parse({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0",
+                    "--f=no"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  EXPECT_FALSE(c.get_bool("e", true));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(Config, MalformedNumberThrows) {
+  Config c = parse({"--n=12x"});
+  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(c.get_double("n", 0), std::invalid_argument);
+}
+
+TEST(Config, MalformedBoolThrows) {
+  Config c = parse({"--b=maybe"});
+  EXPECT_THROW(c.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, UnreadKeysReported) {
+  Config c = parse({"--used=1", "--typo=2"});
+  (void)c.get_int("used", 0);
+  auto unread = c.unread_keys();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(Config, LastDuplicateWins) {
+  Config c = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(c.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace lw

@@ -1,0 +1,122 @@
+// Seeded RNG streams: determinism, stream independence, distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace lw {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(3.0, 5.5);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "all values in [2,5] should appear";
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.15);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngFactory, SameNameSameStream) {
+  RngFactory factory(99);
+  EXPECT_EQ(factory.derive("phy"), factory.derive("phy"));
+  Rng a = factory.stream("phy");
+  Rng b = factory.stream("phy");
+  EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngFactory, DifferentNamesIndependent) {
+  RngFactory factory(99);
+  EXPECT_NE(factory.derive("phy"), factory.derive("mac"));
+}
+
+TEST(RngFactory, IndexedStreamsDistinct) {
+  RngFactory factory(99);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    seeds.insert(factory.derive("node", i));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(RngFactory, MasterSeedChangesEverything) {
+  RngFactory a(1);
+  RngFactory b(2);
+  EXPECT_NE(a.derive("node", 0), b.derive("node", 0));
+}
+
+TEST(RngFactory, AddingDrawsToOneStreamDoesNotPerturbAnother) {
+  RngFactory factory(5);
+  Rng first_a = factory.stream("a");
+  (void)first_a.uniform01();
+  // A fresh "b" stream is unaffected by how much "a" was used.
+  Rng b1 = factory.stream("b");
+  double expected = b1.uniform01();
+  Rng a2 = factory.stream("a");
+  for (int i = 0; i < 50; ++i) (void)a2.uniform01();
+  Rng b2 = factory.stream("b");
+  EXPECT_DOUBLE_EQ(b2.uniform01(), expected);
+}
+
+}  // namespace
+}  // namespace lw
