@@ -3,12 +3,19 @@
 // — the justification record for every place this implementation deviates
 // from a literal reading.
 //
-//   ./bench_ablations [--nodes=60] [--duration=500] [--runs=2] [--seed=700]
+//   ./bench_ablations [--runs=2] [--seed=700] [--threads=1] [--json]
+//                     [--nodes=100] [--duration=600]
+//
+// Standard flags (bench_common.h): --runs replicas per variant, --seed
+// base seed, --threads sweep workers (results identical for any count),
+// --json machine-readable sweep dump.
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
-#include "scenario/runner.h"
+#include "bench_common.h"
+#include "scenario/sweep.h"
 #include "util/config.h"
 
 namespace {
@@ -23,11 +30,11 @@ struct Variant {
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
+  const bench::Common common = bench::parse_common(args, 2, 700);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 100));
   const double duration = args.get_double("duration", 600.0);
-  const int runs = args.get_int("runs", 2);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 700));
+  if (int status = bench::finish(args)) return status;
 
   const std::vector<Variant> variants = {
       {"default (calibrated)", "baseline for the rows below",
@@ -70,29 +77,38 @@ int main(int argc, char** argv) {
        }},
   };
 
+  lw::scenario::SweepSpec spec;
+  spec.base = lw::scenario::ExperimentConfig::table2_defaults();
+  spec.base.node_count = nodes;
+  spec.base.duration = duration;
+  spec.base.malicious_count = 2;
+  for (const auto& variant : variants) {
+    spec.points.push_back({variant.name, variant.tweak, 0});
+  }
+  bench::apply(common, spec);
+  const auto result = lw::scenario::run_sweep(spec);
+
+  if (common.json) {
+    std::puts(lw::scenario::to_json(result).c_str());
+    return bench::finish(args);
+  }
+
   std::puts("== Design-decision ablations ==");
-  std::printf("%zu nodes, M = 2 out-of-band colluders, %.0f s, %d run(s)\n\n",
-              nodes, duration, runs);
+  std::printf("%zu nodes, M = 2 out-of-band colluders, %.0f s, %d run(s), "
+              "%d thread(s), %.1f s wall\n\n",
+              nodes, duration, common.runs, result.threads_used,
+              result.wall_seconds);
   std::printf("%-38s %9s %9s %8s %9s %9s %8s\n", "variant", "delivery",
               "collide", "isolated", "latency", "falseiso", "wormrte");
 
-  for (const auto& variant : variants) {
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto& point = result.points[v];
     double delivery = 0.0;
     double collide = 0.0;
     double isolated = 0.0;
     double latency_sum = 0.0;
     int latency_n = 0;
-    double false_iso = 0.0;
-    double wormhole_routes = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      auto config = lw::scenario::ExperimentConfig::table2_defaults();
-      config.node_count = nodes;
-      config.duration = duration;
-      config.malicious_count = 2;
-      config.seed = seed + static_cast<std::uint64_t>(run);
-      variant.tweak(config);
-      config.finalize();
-      auto r = lw::scenario::run_experiment(config);
+    for (const auto& r : point.replicas) {
       delivery += r.data_originated
                       ? static_cast<double>(r.data_delivered) /
                             static_cast<double>(r.data_originated)
@@ -110,19 +126,18 @@ int main(int argc, char** argv) {
         latency_sum += *r.isolation_latency;
         ++latency_n;
       }
-      false_iso += static_cast<double>(r.false_isolations);
-      wormhole_routes += static_cast<double>(r.wormhole_routes);
     }
-    const double n = runs;
+    const double n = static_cast<double>(point.replicas.size());
     std::printf("%-38s %8.1f%% %8.1f%% %8.2f %9s %9.1f %8.1f\n",
-                variant.name.c_str(), 100.0 * delivery / n,
+                variants[v].name.c_str(), 100.0 * delivery / n,
                 100.0 * collide / n, isolated / n,
                 latency_n ? std::to_string(static_cast<int>(
                                 latency_sum / latency_n))
                                 .c_str()
                           : "--",
-                false_iso / n, wormhole_routes / n);
-    std::printf("%-38s   -> %s\n", "", variant.expectation.c_str());
+                point.aggregate.false_isolations,
+                point.aggregate.wormhole_routes);
+    std::printf("%-38s   -> %s\n", "", variants[v].expectation.c_str());
   }
-  return 0;
+  return bench::finish(args);
 }

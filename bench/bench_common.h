@@ -1,0 +1,107 @@
+// Shared bench CLI surface — the unified experiment/bench API.
+//
+// Every bench accepts the standard flags
+//   --runs=N     seed replicas per sweep point (default varies per bench)
+//   --seed=S     base seed; replica i runs seed S+i
+//   --threads=T  sweep worker threads (0 = one per hardware thread,
+//                default 1); results are bit-identical for any T
+//   --json       machine-readable output instead of the text tables
+// plus its own flags, all parsed through lw::Config. Mistyped flags make
+// the bench exit non-zero with a message BEFORE any simulation runs
+// (finish(), called once right after flag parsing and once at exit).
+// Benches with no stochastic runs (the closed-form analysis harnesses)
+// accept --runs and --threads for CLI uniformity but ignore them.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "scenario/sweep.h"
+#include "util/config.h"
+
+namespace bench {
+
+struct Common {
+  int runs = 1;
+  std::uint64_t seed = 1;
+  int threads = 1;
+  bool json = false;
+};
+
+inline Common parse_common(const lw::Config& args, int default_runs,
+                           std::uint64_t default_seed) {
+  Common common;
+  common.runs = args.get_int("runs", default_runs);
+  common.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<int>(default_seed)));
+  common.threads = args.get_int("threads", 1);
+  common.json = args.get_bool("json", false);
+  return common;
+}
+
+/// Applies the common knobs to a sweep spec.
+inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
+  spec.runs = common.runs;
+  spec.base_seed = common.seed;
+  spec.threads = common.threads;
+}
+
+/// Rejects mistyped flags; returns the process exit code. Call it right
+/// after the last flag read (so a typo aborts before the sweep runs, not
+/// after) and again as the bench's return value.
+inline int finish(const lw::Config& args) {
+  int status = 0;
+  for (const std::string& key : args.unread_keys()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+    status = 1;
+  }
+  return status;
+}
+
+/// Tiny JSON table writer for benches whose output is a flat table rather
+/// than a sweep (the analytic harnesses): an array of uniform objects.
+/// Sweep benches use lw::scenario::to_json instead.
+class JsonRows {
+ public:
+  JsonRows& field(const std::string& key, double value) {
+    open_field(key);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    out_ << buffer;
+    return *this;
+  }
+  JsonRows& field(const std::string& key, const std::string& value) {
+    open_field(key);
+    out_ << '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+    return *this;
+  }
+  void end_row() {
+    out_ << '}';
+    in_row_ = false;
+  }
+  std::string str() const { return "[" + out_.str() + "]"; }
+
+ private:
+  void open_field(const std::string& key) {
+    if (!in_row_) {
+      out_ << (first_row_ ? "{" : ",{");
+      first_row_ = false;
+      in_row_ = true;
+    } else {
+      out_ << ',';
+    }
+    out_ << '"' << key << "\":";
+  }
+
+  std::ostringstream out_;
+  bool first_row_ = true;
+  bool in_row_ = false;
+};
+
+}  // namespace bench

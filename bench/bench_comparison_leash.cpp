@@ -4,87 +4,108 @@
 // For each attack mode, three defenses run on the same field and seeds:
 // none, leash-only, LITEWORP-only. Columns are the wormhole's footprint.
 //
-//   ./bench_comparison_leash [--runs=2] [--duration=400] [--nodes=60]
-//                            [--seed=900] [--perfect_clocks=false]
+//   ./bench_comparison_leash [--runs=2] [--seed=900] [--threads=1]
+//                            [--json] [--duration=400] [--nodes=60]
+//                            [--perfect_clocks=false]
+//
+// Standard flags (bench_common.h): --runs replicas per (mode, defense)
+// cell, --seed base seed, --threads sweep workers (results identical for
+// any count), --json machine-readable sweep dump.
 #include <cstdio>
 #include <string>
 
 #include "attack/modes.h"
-#include "scenario/runner.h"
+#include "bench_common.h"
+#include "scenario/sweep.h"
 #include "util/config.h"
 
 namespace {
 
-struct Cell {
-  double wormhole_routes = 0.0;
-  double drops = 0.0;
-  double isolated = 0.0;
-};
+constexpr const char* kDefenseNames[] = {"none", "leash", "liteworp"};
 
-Cell run_cell(lw::attack::WormholeMode mode, int malicious, int defense,
-              int runs, double duration, std::size_t nodes,
-              std::uint64_t seed, bool perfect_clocks) {
-  Cell cell;
-  for (int run = 0; run < runs; ++run) {
-    auto config = lw::scenario::ExperimentConfig::table2_defaults();
-    config.node_count = nodes;
-    config.seed = seed + static_cast<std::uint64_t>(run);
-    config.duration = duration;
-    config.malicious_count = static_cast<std::size_t>(malicious);
-    config.attack.mode = mode;
-    config.liteworp.enabled = defense == 2;
-    config.leash.enabled = defense == 1;
-    if (perfect_clocks) {
-      config.leash.sync_error = 0.0;
-      config.leash.processing_slack = 0.0;
-    }
-    config.finalize();
-    auto r = lw::scenario::run_experiment(config);
-    cell.wormhole_routes += static_cast<double>(r.wormhole_routes);
-    cell.drops += static_cast<double>(r.data_dropped_malicious);
-    cell.isolated += r.malicious_count
-                         ? static_cast<double>(r.malicious_isolated) /
-                               static_cast<double>(r.malicious_count)
-                         : 0.0;
+double isolated_fraction(const lw::scenario::SweepPointResult& point) {
+  double isolated = 0.0;
+  for (const auto& r : point.replicas) {
+    isolated += r.malicious_count
+                    ? static_cast<double>(r.malicious_isolated) /
+                          static_cast<double>(r.malicious_count)
+                    : 0.0;
   }
-  cell.wormhole_routes /= runs;
-  cell.drops /= runs;
-  cell.isolated /= runs;
-  return cell;
+  return isolated / static_cast<double>(point.replicas.size());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
-  const int runs = args.get_int("runs", 2);
+  const bench::Common common = bench::parse_common(args, 2, 900);
   const double duration = args.get_double("duration", 400.0);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 60));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 900));
   const bool perfect_clocks = args.get_bool("perfect_clocks", false);
+  if (int status = bench::finish(args)) return status;
+
+  lw::scenario::SweepSpec spec;
+  spec.base = lw::scenario::ExperimentConfig::table2_defaults();
+  spec.base.node_count = nodes;
+  spec.base.duration = duration;
+  // Points in row-major (mode, defense) order: defense 0 = none,
+  // 1 = leash-only, 2 = LITEWORP-only.
+  for (const auto& row : lw::attack::attack_mode_table()) {
+    for (int defense = 0; defense < 3; ++defense) {
+      const auto mode = row.mode;
+      const int malicious = row.min_compromised_nodes;
+      spec.points.push_back(
+          {std::string(row.name) + " / " + kDefenseNames[defense],
+           [mode, malicious, defense,
+            perfect_clocks](lw::scenario::ExperimentConfig& c) {
+             c.malicious_count = static_cast<std::size_t>(malicious);
+             c.attack.mode = mode;
+             c.liteworp.enabled = defense == 2;
+             c.leash.enabled = defense == 1;
+             if (perfect_clocks) {
+               c.leash.sync_error = 0.0;
+               c.leash.processing_slack = 0.0;
+             }
+           },
+           0});
+    }
+  }
+  bench::apply(common, spec);
+  const auto result = lw::scenario::run_sweep(spec);
+
+  if (common.json) {
+    std::puts(lw::scenario::to_json(result).c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== LITEWORP vs temporal packet leashes (Section 2 argument) ==");
-  std::printf("%zu nodes, %.0f s, %d run(s); leash clock sync: %s\n\n",
-              nodes, duration, runs,
-              perfect_clocks ? "perfect" : "1 us (TIK-era)");
+  std::printf("%zu nodes, %.0f s, %d run(s); leash clock sync: %s; "
+              "%d thread(s), %.1f s wall\n\n",
+              nodes, duration, common.runs,
+              perfect_clocks ? "perfect" : "1 us (TIK-era)",
+              result.threads_used, result.wall_seconds);
   std::printf("%-24s | %-26s | %-26s | %s\n", "",
               "wormhole routes", "wormhole data drops", "isolated frac");
   std::printf("%-24s | %-8s %-8s %-8s | %-8s %-8s %-8s | %s\n", "mode",
               "none", "leash", "LITEWORP", "none", "leash", "LITEWORP",
               "LITEWORP");
 
+  std::size_t p = 0;
   for (const auto& row : lw::attack::attack_mode_table()) {
-    Cell none = run_cell(row.mode, row.min_compromised_nodes, 0, runs,
-                         duration, nodes, seed, perfect_clocks);
-    Cell leash = run_cell(row.mode, row.min_compromised_nodes, 1, runs,
-                          duration, nodes, seed, perfect_clocks);
-    Cell lworp = run_cell(row.mode, row.min_compromised_nodes, 2, runs,
-                          duration, nodes, seed, perfect_clocks);
+    const auto& none = result.points[p];
+    const auto& leash = result.points[p + 1];
+    const auto& lworp = result.points[p + 2];
+    p += 3;
     std::printf("%-24s | %-8.1f %-8.1f %-8.1f | %-8.0f %-8.0f %-8.0f | %.2f\n",
-                std::string(row.name).c_str(), none.wormhole_routes,
-                leash.wormhole_routes, lworp.wormhole_routes, none.drops,
-                leash.drops, lworp.drops, lworp.isolated);
+                std::string(row.name).c_str(),
+                none.aggregate.wormhole_routes,
+                leash.aggregate.wormhole_routes,
+                lworp.aggregate.wormhole_routes,
+                none.aggregate.data_dropped_malicious,
+                leash.aggregate.data_dropped_malicious,
+                lworp.aggregate.data_dropped_malicious,
+                isolated_fraction(lworp));
   }
 
   std::puts(
@@ -99,5 +120,5 @@ int main(int argc, char** argv) {
       "    detects AND isolates;\n"
       "  - protocol deviation: neither helps;\n"
       "  - only LITEWORP ever removes the attacker (isolated column).");
-  return 0;
+  return bench::finish(args);
 }

@@ -5,59 +5,87 @@
 // The paper's Section 6 claims "100% detection of the wormholes for a wide
 // range of network densities" — this bench is that claim, swept.
 //
-//   ./bench_density_sweep_sim [--runs=3] [--duration=500] [--nodes=60]
-//                             [--nb_min=5] [--nb_max=14] [--seed=800]
+//   ./bench_density_sweep_sim [--runs=3] [--seed=800] [--threads=1]
+//                             [--json] [--duration=800] [--nodes=60]
+//                             [--nb_min=5] [--nb_max=14]
+//
+// Standard flags (bench_common.h): --runs replicas per density, --seed
+// base seed, --threads sweep workers (results identical for any count),
+// --json machine-readable sweep dump. The analytic column is evaluated at
+// the collision rate measured in the first replica (seed = --seed), which
+// replaces the old separate probe run bit-for-bit.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/coverage.h"
-#include "scenario/runner.h"
+#include "bench_common.h"
+#include "scenario/sweep.h"
 #include "util/config.h"
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
-  const int runs = args.get_int("runs", 3);
+  const bench::Common common = bench::parse_common(args, 3, 800);
   const double duration = args.get_double("duration", 800.0);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 60));
   const int nb_min = args.get_int("nb_min", 5);
   const int nb_max = args.get_int("nb_max", 14);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 800));
+  if (int status = bench::finish(args)) return status;
+
+  const int default_gamma = lw::scenario::ExperimentConfig::table2_defaults()
+                                .liteworp.detection_confidence;
+
+  lw::scenario::SweepSpec spec;
+  spec.base = lw::scenario::ExperimentConfig::table2_defaults();
+  spec.base.node_count = nodes;
+  spec.base.duration = duration;
+  spec.base.malicious_count = 2;
+  std::vector<int> densities;
+  for (int nb = nb_min; nb <= nb_max; nb += 3) {
+    densities.push_back(nb);
+    spec.points.push_back(
+        {"N_B=" + std::to_string(nb),
+         [nb, default_gamma](lw::scenario::ExperimentConfig& c) {
+           c.target_neighbors = static_cast<double>(nb);
+           // gamma must stay below the expected guard count (coverage
+           // analysis).
+           c.liteworp.detection_confidence = nb <= 6 ? 2 : default_gamma;
+         },
+         0});
+  }
+  bench::apply(common, spec);
+  const auto result = lw::scenario::run_sweep(spec);
+
+  if (common.json) {
+    std::puts(lw::scenario::to_json(result).c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Simulated detection across densities (Fig 6(a) companion, "
             "Sec 6 claim) ==");
   std::printf("%zu nodes, M = 2 out-of-band colluders, %.0f s, %d run(s) "
-              "per density\n\n",
-              nodes, duration, runs);
+              "per density, %d thread(s), %.1f s wall\n\n",
+              nodes, duration, common.runs, result.threads_used,
+              result.wall_seconds);
   std::printf("%-6s %-10s %-16s %-16s %-10s %s\n", "N_B", "measured",
               "sim P(detect)", "ana P(detect)", "false", "mean isolation");
   std::printf("%-6s %-10s %-16s %-16s %-10s %s\n", "", "collide",
               "(+/- sem)", "@measured P_C", "isolations", "latency [s]");
 
-  for (int nb = nb_min; nb <= nb_max; nb += 3) {
-    auto config = lw::scenario::ExperimentConfig::table2_defaults();
-    config.node_count = nodes;
-    config.target_neighbors = static_cast<double>(nb);
-    config.duration = duration;
-    config.malicious_count = 2;
-    // gamma must stay below the expected guard count (coverage analysis).
-    config.liteworp.detection_confidence =
-        nb <= 6 ? 2 : lw::scenario::ExperimentConfig::table2_defaults()
-                          .liteworp.detection_confidence;
-    config.finalize();
+  for (std::size_t p = 0; p < densities.size(); ++p) {
+    const int nb = densities[p];
+    const auto& point = result.points[p];
+    const auto& agg = point.aggregate;
 
-    // Measure the channel once to evaluate the analytic curve at the
-    // simulator's true collision probability.
-    config.seed = seed;
-    auto probe = lw::scenario::run_experiment(config);
+    // Evaluate the analytic curve at the first replica's true collision
+    // probability.
+    const auto& probe = point.replicas.front();
     const double pc =
         static_cast<double>(probe.frames_collided) /
         static_cast<double>(probe.frames_collided + probe.frames_delivered);
 
-    auto agg = lw::scenario::average_runs(config, runs, seed);
-
     lw::analysis::CoverageParams ana;
-    ana.detection_confidence = config.liteworp.detection_confidence;
-    // Evaluate at the measured collision probability directly.
+    ana.detection_confidence = nb <= 6 ? 2 : default_gamma;
     ana.pc_reference = pc;
     ana.pc_reference_neighbors = static_cast<double>(nb);
     const double analytic = lw::analysis::detection_probability(
@@ -77,5 +105,5 @@ int main(int argc, char** argv) {
             "densities (the Section 6 claim), consistent with the analytic\n"
             "probability at the measured collision rate; zero false\n"
             "isolations throughout.");
-  return 0;
+  return bench::finish(args);
 }

@@ -11,19 +11,25 @@
 // against a deadline — default 60 s after attack start, twice the paper's
 // quoted worst-case latency — mirroring the paper's fixed-horizon runs.
 //
-//   ./bench_fig10_gamma_sweep [--runs=3] [--duration=600] [--nodes=100]
+//   ./bench_fig10_gamma_sweep [--runs=4] [--seed=500] [--threads=1]
+//                             [--json] [--duration=800] [--nodes=100]
 //                             [--nb=15] [--gamma_min=2] [--gamma_max=8]
-//                             [--deadline=60] [--seed=500]
+//                             [--deadline=60]
+//
+// Standard flags (bench_common.h): --runs replicas per gamma, --seed base
+// seed, --threads sweep workers (results identical for any count), --json
+// machine-readable sweep dump (per-replica isolation latencies included).
 #include <cstdio>
 #include <vector>
 
 #include "analysis/coverage.h"
-#include "scenario/runner.h"
+#include "bench_common.h"
+#include "scenario/sweep.h"
 #include "util/config.h"
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
-  const int runs = args.get_int("runs", 4);
+  const bench::Common common = bench::parse_common(args, 4, 500);
   const double duration = args.get_double("duration", 800.0);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 100));
@@ -31,13 +37,45 @@ int main(int argc, char** argv) {
   const int gamma_min = args.get_int("gamma_min", 2);
   const int gamma_max = args.get_int("gamma_max", 8);
   const double deadline = args.get_double("deadline", 60.0);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 500));
+  if (int status = bench::finish(args)) return status;
+
+  lw::scenario::SweepSpec spec;
+  spec.base = lw::scenario::ExperimentConfig::table2_defaults();
+  spec.base.node_count = nodes;
+  spec.base.target_neighbors = nb;
+  spec.base.duration = duration;
+  spec.base.malicious_count = 2;
+  // Pin the fabricated link so the alerting-guard pool matches the
+  // analysis' per-link geometry (g ~= 0.51 N_B); the default randomized
+  // lie enlarges the pool and keeps detection at 1.0 for every gamma.
+  spec.base.attack.fixed_fake_prev = true;
+  // Disable the corroborated-threshold extension: the paper's guards never
+  // lower their bar on hearsay, and with it enabled the detection cascade
+  // erases the gamma sensitivity this figure is about (see EXPERIMENTS.md
+  // for the with-extension numbers).
+  spec.base.liteworp.corroborated_threshold =
+      spec.base.liteworp.malc_threshold;
+  for (int gamma = gamma_min; gamma <= gamma_max; ++gamma) {
+    spec.points.push_back({"gamma=" + std::to_string(gamma),
+                           [gamma](lw::scenario::ExperimentConfig& c) {
+                             c.liteworp.detection_confidence = gamma;
+                           },
+                           0});
+  }
+  bench::apply(common, spec);
+  const auto result = lw::scenario::run_sweep(spec);
+
+  if (common.json) {
+    std::puts(lw::scenario::to_json(result).c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Figure 10: detection probability and isolation latency vs "
             "gamma ==");
   std::printf("%zu nodes at N_B = %.0f, M = 2, %d run(s) per point, "
-              "deadline %.0f s\n\n",
-              nodes, nb, runs, deadline);
+              "deadline %.0f s, %d thread(s), %.1f s wall\n\n",
+              nodes, nb, common.runs, deadline, result.threads_used,
+              result.wall_seconds);
 
   lw::analysis::CoverageParams analytic;
   auto analytic_curve =
@@ -46,41 +84,23 @@ int main(int argc, char** argv) {
   std::printf("%-7s %-18s %-16s %s\n", "gamma", "sim P(det<deadline)",
               "ana P(detection)", "mean isolation latency [s]");
   for (int gamma = gamma_min; gamma <= gamma_max; ++gamma) {
+    const auto& point =
+        result.points[static_cast<std::size_t>(gamma - gamma_min)];
     int within_deadline = 0;
     double latency_sum = 0.0;
     int latency_runs = 0;
-    for (int run = 0; run < runs; ++run) {
-      auto config = lw::scenario::ExperimentConfig::table2_defaults();
-      config.node_count = nodes;
-      config.target_neighbors = nb;
-      config.duration = duration;
-      config.malicious_count = 2;
-      config.liteworp.detection_confidence = gamma;
-      // Pin the fabricated link so the alerting-guard pool matches the
-      // analysis' per-link geometry (g ~= 0.51 N_B); the default
-      // randomized lie enlarges the pool and keeps detection at 1.0 for
-      // every gamma.
-      config.attack.fixed_fake_prev = true;
-      // Disable the corroborated-threshold extension: the paper's guards
-      // never lower their bar on hearsay, and with it enabled the
-      // detection cascade erases the gamma sensitivity this figure is
-      // about (see EXPERIMENTS.md for the with-extension numbers).
-      config.liteworp.corroborated_threshold =
-          config.liteworp.malc_threshold;
-      config.seed = seed + static_cast<std::uint64_t>(run);
-      config.finalize();
-      auto result = lw::scenario::run_experiment(config);
-      if (result.isolation_latency) {
-        latency_sum += *result.isolation_latency;
+    for (const auto& replica : point.replicas) {
+      if (replica.isolation_latency) {
+        latency_sum += *replica.isolation_latency;
         ++latency_runs;
-        if (*result.isolation_latency <= deadline) ++within_deadline;
+        if (*replica.isolation_latency <= deadline) ++within_deadline;
       }
     }
     const double ana =
         analytic_curve[static_cast<std::size_t>(gamma - gamma_min)].y;
     if (latency_runs > 0) {
       std::printf("%-7d %-18.3f %-16.3f %.1f\n", gamma,
-                  static_cast<double>(within_deadline) / runs, ana,
+                  static_cast<double>(within_deadline) / common.runs, ana,
                   latency_sum / latency_runs);
     } else {
       std::printf("%-7d %-18.3f %-16.3f (never completely isolated)\n",
@@ -94,5 +114,5 @@ int main(int argc, char** argv) {
             "tails the paper's one-shot alerts abandoned, which stretches\n"
             "the high-gamma means). Rerun without the deadline flag to see\n"
             "that, given time, every gamma eventually isolates.");
-  return 0;
+  return bench::finish(args);
 }

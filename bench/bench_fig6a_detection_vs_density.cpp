@@ -9,19 +9,43 @@
 // certainty, then falls rapidly once collisions swamp the guards.
 //
 //   ./bench_fig6a_detection_vs_density [--nb_min=3] [--nb_max=40]
-//                                      [--step=1] [--gamma=3]
+//                                      [--step=1] [--gamma=3] [--json]
+//
+// Standard flags (bench_common.h): --json emits the curve as JSON rows;
+// --runs/--seed/--threads are accepted for CLI uniformity but unused
+// (closed-form evaluation, no stochastic runs).
 #include <cstdio>
 
 #include "analysis/coverage.h"
+#include "bench_common.h"
 #include "util/config.h"
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
+  const bench::Common common = bench::parse_common(args, 1, 0);
   lw::analysis::CoverageParams params;
   params.detection_confidence = args.get_int("gamma", 3);
   const double nb_min = args.get_double("nb_min", 3.0);
   const double nb_max = args.get_double("nb_max", 40.0);
   const double step = args.get_double("step", 1.0);
+
+  if (common.json) {
+    auto curve =
+        lw::analysis::detection_vs_neighbors(params, nb_min, nb_max, step);
+    bench::JsonRows rows;
+    for (const auto& point : curve) {
+      const double pc = lw::analysis::collision_probability(params, point.x);
+      rows.field("nb", point.x)
+          .field("collision_probability", pc)
+          .field("expected_guards", lw::analysis::expected_guards(point.x))
+          .field("guard_alert_probability",
+                 lw::analysis::guard_alert_probability(params, pc))
+          .field("detection_probability", point.y);
+      rows.end_row();
+    }
+    std::puts(rows.str().c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Figure 6(a): P(wormhole detection) vs number of neighbors ==");
   std::printf("params: kappa=%d k=%d gamma=%d P_C=%.2f@N_B=%.0f (linear)\n\n",
@@ -48,5 +72,5 @@ int main(int argc, char** argv) {
   std::printf("\npeak: P(detection) = %.4f at N_B = %.1f "
               "(paper: rises, peaks near 1, then falls)\n",
               curve[peak].y, curve[peak].x);
-  return 0;
+  return bench::finish(args);
 }

@@ -6,17 +6,43 @@
 // (the paper plots it scaled by 1e-3).
 //
 //   ./bench_fig6b_false_alarm [--nb_min=3] [--nb_max=60] [--step=1]
+//                             [--json]
+//
+// Standard flags (bench_common.h): --json emits the curve as JSON rows;
+// --runs/--seed/--threads are accepted for CLI uniformity but unused
+// (closed-form evaluation, no stochastic runs).
 #include <cstdio>
 
 #include "analysis/coverage.h"
+#include "bench_common.h"
 #include "util/config.h"
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
+  const bench::Common common = bench::parse_common(args, 1, 0);
   lw::analysis::CoverageParams params;
   const double nb_min = args.get_double("nb_min", 3.0);
   const double nb_max = args.get_double("nb_max", 60.0);
   const double step = args.get_double("step", 1.0);
+
+  if (common.json) {
+    auto curve =
+        lw::analysis::false_alarm_vs_neighbors(params, nb_min, nb_max, step);
+    bench::JsonRows rows;
+    for (const auto& point : curve) {
+      const double pc = lw::analysis::collision_probability(params, point.x);
+      rows.field("nb", point.x)
+          .field("collision_probability", pc)
+          .field("packet_false_suspicion",
+                 lw::analysis::false_suspicion_probability(pc))
+          .field("guard_false_alarm",
+                 lw::analysis::guard_false_alarm_probability(params, pc))
+          .field("false_alarm_probability", point.y);
+      rows.end_row();
+    }
+    std::puts(rows.str().c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Figure 6(b): P(false alarm) vs number of neighbors ==");
   std::printf("params: kappa=%d k=%d gamma=%d P_FA(packet)=P_C(1-P_C)\n\n",
@@ -43,5 +69,5 @@ int main(int argc, char** argv) {
   std::printf("\nworst case: %.3e at N_B = %.1f "
               "(paper: negligible everywhere, non-monotone)\n",
               worst, worst_nb);
-  return 0;
+  return bench::finish(args);
 }

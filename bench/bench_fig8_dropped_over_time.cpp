@@ -7,91 +7,124 @@
 // isolated (a short tail while stale routes drain), at a level orders of
 // magnitude below the baseline.
 //
-//   ./bench_fig8_dropped_over_time [--runs=3] [--duration=2000]
-//                                  [--nodes=100] [--dt=100] [--seed=300]
+//   ./bench_fig8_dropped_over_time [--runs=3] [--seed=300] [--threads=1]
+//                                  [--json] [--duration=2000] [--nodes=100]
+//                                  [--dt=100]
+//
+// Standard flags (bench_common.h): --runs replicas per series, --seed base
+// seed, --threads sweep workers (results identical for any count), --json
+// emits the four averaged time series as JSON rows.
 #include <cstdio>
-#include <optional>
 #include <vector>
 
-#include "scenario/runner.h"
+#include "bench_common.h"
+#include "scenario/sweep.h"
+#include "stats/metrics.h"
 #include "util/config.h"
 
 namespace {
 
-struct Series {
-  std::vector<double> cumulative;  // averaged over runs
-  double isolation_latency_sum = 0.0;
-  int isolated_runs = 0;
-};
-
-Series run_series(std::size_t nodes, std::size_t malicious, bool liteworp,
-                  int runs, double duration, double dt,
-                  std::uint64_t base_seed) {
-  Series series;
+/// Run-averaged cumulative drop counts sampled every dt.
+std::vector<double> averaged_series(
+    const lw::scenario::SweepPointResult& point, double duration, double dt) {
   const std::size_t samples = static_cast<std::size_t>(duration / dt) + 1;
-  series.cumulative.assign(samples, 0.0);
-  for (int run = 0; run < runs; ++run) {
-    auto config = lw::scenario::ExperimentConfig::table2_defaults();
-    config.node_count = nodes;
-    config.seed = base_seed + static_cast<std::uint64_t>(run);
-    config.duration = duration;
-    config.malicious_count = malicious;
-    config.liteworp.enabled = liteworp;
-    config.finalize();
-    auto result = lw::scenario::run_experiment(config);
+  std::vector<double> cumulative(samples, 0.0);
+  for (const auto& replica : point.replicas) {
     for (std::size_t i = 0; i < samples; ++i) {
-      series.cumulative[i] += static_cast<double>(
+      cumulative[i] += static_cast<double>(
           lw::stats::MetricsCollector::cumulative_at(
-              result.drop_times, static_cast<double>(i) * dt));
-    }
-    if (result.isolation_latency) {
-      series.isolation_latency_sum += *result.isolation_latency;
-      ++series.isolated_runs;
+              replica.drop_times, static_cast<double>(i) * dt));
     }
   }
-  for (double& v : series.cumulative) v /= runs;
-  return series;
+  for (double& v : cumulative) {
+    v /= static_cast<double>(point.replicas.size());
+  }
+  return cumulative;
+}
+
+double mean_latency(const lw::scenario::SweepPointResult& point) {
+  return point.aggregate.mean_isolation_latency
+             ? *point.aggregate.mean_isolation_latency
+             : -1.0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
-  const int runs = args.get_int("runs", 3);
+  const bench::Common common = bench::parse_common(args, 3, 300);
   const double duration = args.get_double("duration", 2000.0);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 100));
   const double dt = args.get_double("dt", 100.0);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 300));
+  if (int status = bench::finish(args)) return status;
+
+  lw::scenario::SweepSpec spec;
+  spec.base = lw::scenario::ExperimentConfig::table2_defaults();
+  spec.base.node_count = nodes;
+  spec.base.duration = duration;
+  const struct {
+    const char* label;
+    std::size_t malicious;
+    bool liteworp;
+  } series[] = {{"M=2 baseline", 2, false},
+                {"M=4 baseline", 4, false},
+                {"M=2 LITEWORP", 2, true},
+                {"M=4 LITEWORP", 4, true}};
+  for (const auto& s : series) {
+    const std::size_t malicious = s.malicious;
+    const bool liteworp = s.liteworp;
+    spec.points.push_back(
+        {s.label,
+         [malicious, liteworp](lw::scenario::ExperimentConfig& c) {
+           c.malicious_count = malicious;
+           c.liteworp.enabled = liteworp;
+         },
+         0});
+  }
+  bench::apply(common, spec);
+  const auto result = lw::scenario::run_sweep(spec);
+
+  std::vector<std::vector<double>> curves;
+  curves.reserve(result.points.size());
+  for (const auto& point : result.points) {
+    curves.push_back(averaged_series(point, duration, dt));
+  }
+
+  if (common.json) {
+    bench::JsonRows rows;
+    for (std::size_t i = 0; i < curves.front().size(); ++i) {
+      rows.field("time", static_cast<double>(i) * dt);
+      for (std::size_t p = 0; p < result.points.size(); ++p) {
+        rows.field(result.points[p].label, curves[p][i]);
+      }
+      rows.end_row();
+    }
+    std::puts(rows.str().c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Figure 8: cumulative packets dropped by the wormhole ==");
-  std::printf("%zu nodes, attack at t=50 s, %d run(s) averaged\n\n", nodes,
-              runs);
-
-  Series base2 = run_series(nodes, 2, false, runs, duration, dt, seed);
-  Series base4 = run_series(nodes, 4, false, runs, duration, dt, seed);
-  Series lw2 = run_series(nodes, 2, true, runs, duration, dt, seed);
-  Series lw4 = run_series(nodes, 4, true, runs, duration, dt, seed);
+  std::printf("%zu nodes, attack at t=50 s, %d run(s) averaged, "
+              "%d thread(s), %.1f s wall\n\n",
+              nodes, common.runs, result.threads_used, result.wall_seconds);
 
   std::printf("%-8s %14s %14s %14s %14s\n", "time[s]", "M=2 baseline",
               "M=4 baseline", "M=2 LITEWORP", "M=4 LITEWORP");
-  for (std::size_t i = 0; i < base2.cumulative.size(); ++i) {
+  for (std::size_t i = 0; i < curves.front().size(); ++i) {
     std::printf("%-8.0f %14.1f %14.1f %14.1f %14.1f\n",
-                static_cast<double>(i) * dt, base2.cumulative[i],
-                base4.cumulative[i], lw2.cumulative[i], lw4.cumulative[i]);
+                static_cast<double>(i) * dt, curves[0][i], curves[1][i],
+                curves[2][i], curves[3][i]);
   }
 
-  auto mean_latency = [](const Series& s) {
-    return s.isolated_runs ? s.isolation_latency_sum / s.isolated_runs : -1.0;
-  };
   std::printf("\nisolation latency (mean over isolated runs): "
               "M=2: %.1f s, M=4: %.1f s after attack start\n",
-              mean_latency(lw2), mean_latency(lw4));
+              mean_latency(result.points[2]), mean_latency(result.points[3]));
   std::printf("final cumulative drops: baseline M=2: %.0f, M=4: %.0f; "
               "LITEWORP M=2: %.0f, M=4: %.0f\n",
-              base2.cumulative.back(), base4.cumulative.back(),
-              lw2.cumulative.back(), lw4.cumulative.back());
+              curves[0].back(), curves[1].back(), curves[2].back(),
+              curves[3].back());
   std::puts("\nexpected shape: baseline climbs for the whole run; LITEWORP\n"
             "flattens shortly after isolation (short stale-route tail).");
-  return 0;
+  return bench::finish(args);
 }

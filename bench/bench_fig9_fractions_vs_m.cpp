@@ -7,25 +7,56 @@
 // LITEWORP both stay near zero. M = 0 and M = 1 do no damage in the
 // colluding tunnel modes (no wormhole can form).
 //
-//   ./bench_fig9_fractions_vs_m [--runs=2] [--duration=1500]
-//                               [--nodes=100] [--seed=400] [--m_max=4]
+//   ./bench_fig9_fractions_vs_m [--runs=2] [--seed=400] [--threads=1]
+//                               [--json] [--duration=1500] [--nodes=100]
+//                               [--m_max=4]
+//
+// Standard flags (bench_common.h): --runs replicas per point, --seed base
+// seed, --threads sweep workers (results identical for any count), --json
+// machine-readable sweep dump.
 #include <cstdio>
 
-#include "scenario/runner.h"
+#include "bench_common.h"
+#include "scenario/sweep.h"
 #include "util/config.h"
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
-  const int runs = args.get_int("runs", 2);
+  const bench::Common common = bench::parse_common(args, 2, 400);
   const double duration = args.get_double("duration", 1500.0);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 100));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 400));
   const int m_max = args.get_int("m_max", 4);
+  if (int status = bench::finish(args)) return status;
+
+  lw::scenario::SweepSpec spec;
+  spec.base = lw::scenario::ExperimentConfig::table2_defaults();
+  spec.base.node_count = nodes;
+  spec.base.duration = duration;
+  for (int m = 0; m <= m_max; ++m) {
+    for (bool liteworp : {false, true}) {
+      spec.points.push_back(
+          {"M=" + std::to_string(m) + (liteworp ? " liteworp" : " baseline"),
+           [m, liteworp](lw::scenario::ExperimentConfig& c) {
+             c.malicious_count = static_cast<std::size_t>(m);
+             c.liteworp.enabled = liteworp;
+           },
+           0});
+    }
+  }
+  bench::apply(common, spec);
+  const auto result = lw::scenario::run_sweep(spec);
+
+  if (common.json) {
+    std::puts(lw::scenario::to_json(result).c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Figure 9: damage fractions vs number of compromised nodes ==");
-  std::printf("%zu nodes, %.0f s snapshot, %d run(s) averaged\n\n", nodes,
-              duration, runs);
+  std::printf("%zu nodes, %.0f s snapshot, %d run(s) averaged, %d thread(s), "
+              "%.1f s wall\n\n",
+              nodes, duration, common.runs, result.threads_used,
+              result.wall_seconds);
   std::printf("%-4s | %-22s | %-22s\n", "", "fraction dropped",
               "fraction wormhole routes");
   std::printf("%-4s | %-10s %-10s | %-10s %-10s\n", "M", "baseline",
@@ -33,19 +64,8 @@ int main(int argc, char** argv) {
   std::puts("-----+-----------------------+----------------------");
 
   for (int m = 0; m <= m_max; ++m) {
-    auto config = lw::scenario::ExperimentConfig::table2_defaults();
-    config.node_count = nodes;
-    config.duration = duration;
-    config.malicious_count = static_cast<std::size_t>(m);
-
-    config.liteworp.enabled = false;
-    config.finalize();
-    auto baseline = lw::scenario::average_runs(config, runs, seed);
-
-    config.liteworp.enabled = true;
-    config.finalize();
-    auto guarded = lw::scenario::average_runs(config, runs, seed);
-
+    const auto& baseline = result.points[2 * m].aggregate;
+    const auto& guarded = result.points[2 * m + 1].aggregate;
     std::printf("%-4d | %-10.4f %-10.4f | %-10.4f %-10.4f\n", m,
                 baseline.fraction_dropped, guarded.fraction_dropped,
                 baseline.fraction_wormhole_routes,
@@ -55,5 +75,5 @@ int main(int argc, char** argv) {
   std::puts("\nexpected shape: baseline fractions grow with M (drops\n"
             "super-linearly -- wormhole routes attract traffic); LITEWORP\n"
             "columns stay near zero; M <= 1 does no damage (no colluder).");
-  return 0;
+  return bench::finish(args);
 }

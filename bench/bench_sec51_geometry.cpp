@@ -2,12 +2,42 @@
 //
 // Prints the closed-form quantities next to the figures the paper quotes.
 // (The paper rounds aggressively; we report exact values.)
+//
+//   ./bench_sec51_geometry [--json]
+//
+// Standard flags (bench_common.h): --json emits the lens-area and
+// guard-count tables as JSON rows; --runs/--seed/--threads are accepted
+// for CLI uniformity but unused (closed-form evaluation).
 #include <cstdio>
 
 #include "analysis/coverage.h"
+#include "bench_common.h"
+#include "util/config.h"
 #include "util/math_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lw::Config args = lw::Config::from_args(argc, argv);
+  const bench::Common common = bench::parse_common(args, 1, 0);
+
+  if (common.json) {
+    bench::JsonRows rows;
+    for (double x = 0.0; x <= 1.0001; x += 0.125) {
+      rows.field("kind", std::string("lens_area"))
+          .field("x_over_r", x)
+          .field("area_over_r2", lw::analysis::lens_area(x, 1.0));
+      rows.end_row();
+    }
+    for (double nb : {3.0, 5.0, 8.0, 10.0, 15.0, 20.0}) {
+      rows.field("kind", std::string("guards"))
+          .field("nb", nb)
+          .field("expected_guards", lw::analysis::expected_guards(nb))
+          .field("min_guards", lw::analysis::min_guards(nb));
+      rows.end_row();
+    }
+    std::puts(rows.str().c_str());
+    return bench::finish(args);
+  }
+
   std::puts("== Section 5.1: guard geometry ==\n");
 
   std::puts("Lens area A(x) between two discs of radius r, centers x apart");
@@ -52,5 +82,5 @@ int main() {
                   target);
     }
   }
-  return 0;
+  return bench::finish(args);
 }

@@ -3,18 +3,48 @@
 // structures from a real simulation run.
 //
 //   ./bench_sec52_cost [--nodes=100] [--duration=400] [--seed=600]
+//                      [--json]
+//
+// Standard flags (bench_common.h): --seed seeds the single live
+// measurement run; --json emits the analytic cost table as JSON rows;
+// --runs/--threads are accepted for CLI uniformity but unused (one
+// diagnostic run, not a sweep).
 #include <cstdio>
 
 #include "analysis/cost_model.h"
+#include "bench_common.h"
 #include "scenario/network.h"
 #include "util/config.h"
 
 int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
+  const bench::Common common = bench::parse_common(args, 1, 600);
   const std::size_t nodes =
       static_cast<std::size_t>(args.get_int("nodes", 100));
   const double duration = args.get_double("duration", 400.0);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 600));
+  const std::uint64_t seed = common.seed;
+  if (int status = bench::finish(args)) return status;
+
+  if (common.json) {
+    lw::analysis::CostParams params;
+    params.route_establishment_rate = 0.5;
+    bench::JsonRows rows;
+    for (double nb : {4.0, 8.0, 10.0, 16.0}) {
+      params.average_neighbors = nb;
+      rows.field("nb", nb)
+          .field("neighbor_list_bytes",
+                 static_cast<double>(lw::analysis::neighbor_list_bytes(nb)))
+          .field("neighbor_list_bytes_paper",
+                 static_cast<double>(
+                     lw::analysis::neighbor_list_bytes_paper(nb)))
+          .field("total_state_bytes",
+                 static_cast<double>(
+                     lw::analysis::total_state_bytes(params, 2.5, 3)));
+      rows.end_row();
+    }
+    std::puts(rows.str().c_str());
+    return bench::finish(args);
+  }
 
   std::puts("== Section 5.2: cost analysis ==\n");
 
@@ -92,5 +122,5 @@ int main(int argc, char** argv) {
   std::puts("\nexpected shape: per-node state well under 1 KB (paper: NBLS\n"
             "< 0.5 KB at N_B = 10, watch buffer ~4 entries); LITEWORP\n"
             "bandwidth only at initialization and on detection.");
-  return 0;
+  return bench::finish(args);
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "topology/field.h"
 
@@ -40,6 +41,40 @@ void ExperimentConfig::finalize() {
   if (attack.start_time < traffic.start_time) {
     attack.start_time = traffic.start_time;
   }
+}
+
+void ExperimentConfig::validate() const {
+  auto reject = [](const std::string& what) {
+    throw std::invalid_argument("ExperimentConfig: " + what);
+  };
+  if (node_count == 0) reject("node_count must be positive");
+  if (radio_range <= 0.0) reject("radio_range must be positive");
+  if (target_neighbors <= 0.0 && !field_side && !positions) {
+    reject("target_neighbors must be positive to derive the field side");
+  }
+  if (duration < 0.0) reject("duration must be non-negative");
+  if (late_joiners > 0 && oracle_discovery) {
+    reject(
+        "late_joiners require the real discovery protocol "
+        "(oracle_discovery = false): oracle tables would know undeployed "
+        "nodes");
+  }
+  if (malicious_count > node_count) {
+    reject(
+        "malicious_count exceeds node_count (attackers are insiders of "
+        "the initial deployment)");
+  }
+  if (!malicious_nodes.empty() &&
+      malicious_nodes.size() != malicious_count) {
+    reject("malicious_nodes and malicious_count disagree");
+  }
+  if (positions && positions->size() != node_count + late_joiners) {
+    reject("explicit positions must cover node_count + late_joiners nodes");
+  }
+  if (liteworp.enabled && liteworp.detection_confidence < 1) {
+    reject("detection_confidence (gamma) must be at least 1");
+  }
+  if (traffic.data_rate < 0.0) reject("data_rate must be non-negative");
 }
 
 std::string ExperimentConfig::summary() const {

@@ -41,7 +41,9 @@ class Network {
   sim::Simulator& simulator() { return simulator_; }
   const topo::DiscGraph& graph() const { return *graph_; }
   phy::Medium& medium() { return *medium_; }
+  const phy::Medium& medium() const { return *medium_; }
   stats::MetricsCollector& metrics() { return *metrics_; }
+  const stats::MetricsCollector& metrics() const { return *metrics_; }
   const std::vector<NodeId>& malicious_ids() const { return malicious_ids_; }
   Node& node(NodeId id) { return *nodes_.at(id); }
   const Node& node(NodeId id) const { return *nodes_.at(id); }

@@ -1,17 +1,15 @@
 #include "scenario/runner.h"
 #include <cmath>
+#include <utility>
 
 namespace lw::scenario {
 
-RunResult run_experiment(const ExperimentConfig& config) {
-  Network network(config);
-  network.run();
-
+RunResult RunResult::from_metrics(const Network& network) {
   const stats::MetricsCollector& m = network.metrics();
   const phy::MediumStats& phy = network.medium().stats();
 
   RunResult r;
-  r.seed = config.seed;
+  r.seed = network.config().seed;
   r.average_degree = network.average_degree();
   r.data_originated = m.data_originated;
   r.data_delivered = m.data_delivered;
@@ -44,6 +42,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
   r.drop_times = m.drop_times;
   r.wormhole_route_times = m.wormhole_route_times;
   return r;
+}
+
+RunResult run_experiment(ExperimentConfig config) {
+  config.finalize();
+  config.validate();
+  Network network(std::move(config));
+  network.run();
+  return RunResult::from_metrics(network);
 }
 
 std::vector<SeriesPoint> cumulative_series(const std::vector<Time>& times,
@@ -83,19 +89,18 @@ class RunningStat {
 
 }  // namespace
 
-Aggregate average_runs(ExperimentConfig config, int runs,
-                       std::uint64_t base_seed) {
+Aggregate Aggregate::reduce(const std::vector<RunResult>& results) {
   Aggregate agg;
-  agg.runs = runs;
+  agg.runs = static_cast<int>(results.size());
+  if (results.empty()) return agg;
+
   double latency_sum = 0.0;
   int latency_runs = 0;
   RunningStat dropped;
   RunningStat wormhole_fraction;
   RunningStat detected;
 
-  for (int i = 0; i < runs; ++i) {
-    config.seed = base_seed + static_cast<std::uint64_t>(i);
-    RunResult r = run_experiment(config);
+  for (const RunResult& r : results) {
     agg.data_originated += static_cast<double>(r.data_originated);
     agg.data_dropped_malicious +=
         static_cast<double>(r.data_dropped_malicious);
@@ -117,7 +122,7 @@ Aggregate average_runs(ExperimentConfig config, int runs,
     }
   }
 
-  const double n = static_cast<double>(runs);
+  const double n = static_cast<double>(results.size());
   agg.data_originated /= n;
   agg.data_dropped_malicious /= n;
   agg.fraction_dropped = dropped.mean();

@@ -67,10 +67,16 @@ struct RunResult {
                : static_cast<double>(wormhole_routes) /
                      static_cast<double>(routes_established);
   }
+
+  /// Extracts every output parameter from a finished network's collectors
+  /// (metrics, PHY stats, topology) — the single transcription point.
+  static RunResult from_metrics(const Network& network);
 };
 
 /// Builds a network from `config`, runs it to completion, extracts results.
-RunResult run_experiment(const ExperimentConfig& config);
+/// Calls config.finalize() and config.validate() internally, so callers
+/// cannot forget either.
+RunResult run_experiment(ExperimentConfig config);
 
 /// Point of a time series.
 struct SeriesPoint {
@@ -100,10 +106,17 @@ struct Aggregate {
   /// Mean isolation latency over runs that reached complete isolation.
   std::optional<Duration> mean_isolation_latency;
   int runs_fully_isolated = 0;
+
+  /// The one aggregation code path (means + SEMs): used by average_runs and
+  /// the sweep engine. Order-sensitive only in float-rounding terms, so
+  /// callers must pass results in seed order for bit-identical output.
+  static Aggregate reduce(const std::vector<RunResult>& results);
 };
 
 /// Runs `runs` replicas with seeds base_seed, base_seed+1, ... and averages.
+/// Implemented as a single-point sweep; `threads` > 1 (or 0 = all cores)
+/// fans the replicas across workers with bit-identical results.
 Aggregate average_runs(ExperimentConfig config, int runs,
-                       std::uint64_t base_seed);
+                       std::uint64_t base_seed, int threads = 1);
 
 }  // namespace lw::scenario

@@ -1,0 +1,293 @@
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace lw::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+ExperimentConfig point_config(const SweepSpec& spec, const SweepPoint& point) {
+  ExperimentConfig config = spec.base;
+  if (point.mutate) point.mutate(config);
+  config.finalize();
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  if (spec.runs <= 0) {
+    throw std::invalid_argument("sweep: runs must be positive");
+  }
+  if (spec.points.empty()) {
+    throw std::invalid_argument("sweep: at least one point required");
+  }
+
+  const auto sweep_start = Clock::now();
+  const std::size_t point_count = spec.points.size();
+  const std::size_t runs = static_cast<std::size_t>(spec.runs);
+  const std::size_t total_jobs = point_count * runs;
+
+  // Build every point's config up front so contradictions surface on the
+  // calling thread before any worker spins up.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(point_count);
+  for (const SweepPoint& point : spec.points) {
+    configs.push_back(point_config(spec, point));
+  }
+
+  std::vector<std::vector<RunResult>> replicas(point_count,
+                                               std::vector<RunResult>(runs));
+  std::vector<std::vector<double>> durations(point_count,
+                                             std::vector<double>(runs, 0.0));
+
+  std::mutex mutex;  // guards `done` / `error` / the progress callback
+  std::size_t done = 0;
+  std::exception_ptr error;
+
+  auto job = [&](std::size_t p, std::size_t i) {
+    try {
+      ExperimentConfig config = configs[p];
+      config.seed = spec.base_seed + spec.points[p].seed_offset +
+                    static_cast<std::uint64_t>(i);
+      const auto start = Clock::now();
+      RunResult result = run_experiment(std::move(config));
+      durations[p][i] = seconds_since(start);
+      replicas[p][i] = std::move(result);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!error) error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    ++done;
+    if (spec.progress) spec.progress(done, total_jobs);
+  };
+
+  std::size_t threads = spec.threads == 0
+                            ? ThreadPool::hardware_threads()
+                            : static_cast<std::size_t>(
+                                  spec.threads < 1 ? 1 : spec.threads);
+  threads = std::min(threads, total_jobs);
+
+  if (threads <= 1) {
+    for (std::size_t p = 0; p < point_count; ++p) {
+      for (std::size_t i = 0; i < runs; ++i) job(p, i);
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t p = 0; p < point_count; ++p) {
+      for (std::size_t i = 0; i < runs; ++i) {
+        pool.submit([&job, p, i] { job(p, i); });
+      }
+    }
+    pool.wait_idle();
+  }
+  if (error) std::rethrow_exception(error);
+
+  // Deterministic reduction: spec order, never completion order.
+  SweepResult result;
+  result.points.resize(point_count);
+  for (std::size_t p = 0; p < point_count; ++p) {
+    SweepPointResult& out = result.points[p];
+    out.label = spec.points[p].label;
+    out.replicas = std::move(replicas[p]);
+    out.aggregate = Aggregate::reduce(out.replicas);
+    for (double secs : durations[p]) out.cpu_seconds += secs;
+  }
+  result.threads_used = static_cast<int>(threads);
+  result.wall_seconds = seconds_since(sweep_start);
+  return result;
+}
+
+Aggregate average_runs(ExperimentConfig config, int runs,
+                       std::uint64_t base_seed, int threads) {
+  SweepSpec spec;
+  spec.base = std::move(config);
+  spec.points.push_back({"", nullptr, 0});
+  spec.runs = runs;
+  spec.base_seed = base_seed;
+  spec.threads = threads;
+  return run_sweep(spec).points.front().aggregate;
+}
+
+namespace {
+
+/// Minimal JSON emitter (no dependency): escapes strings, prints doubles
+/// round-trippably.
+class JsonOut {
+ public:
+  JsonOut() {
+    out_.precision(std::numeric_limits<double>::max_digits10);
+  }
+
+  JsonOut& raw(const char* text) {
+    out_ << text;
+    return *this;
+  }
+  JsonOut& key(const char* name) {
+    comma();
+    out_ << '"' << name << "\":";
+    fresh_ = true;
+    return *this;
+  }
+  JsonOut& value(double v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonOut& value(std::uint64_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonOut& value(const std::string& v) {
+    comma();
+    out_ << '"';
+    for (char c : v) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          out_ << c;
+      }
+    }
+    out_ << '"';
+    return *this;
+  }
+  JsonOut& null() {
+    comma();
+    out_ << "null";
+    return *this;
+  }
+  JsonOut& open(char bracket) {
+    comma();
+    out_ << bracket;
+    fresh_ = true;
+    return *this;
+  }
+  JsonOut& close(char bracket) {
+    out_ << bracket;
+    fresh_ = false;
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ << ',';
+    fresh_ = false;
+  }
+
+  std::ostringstream out_;
+  bool fresh_ = true;
+};
+
+void emit_aggregate(JsonOut& json, const Aggregate& agg) {
+  json.open('{');
+  json.key("runs").value(static_cast<std::uint64_t>(agg.runs));
+  json.key("data_originated").value(agg.data_originated);
+  json.key("data_dropped_malicious").value(agg.data_dropped_malicious);
+  json.key("fraction_dropped").value(agg.fraction_dropped);
+  json.key("fraction_dropped_sem").value(agg.fraction_dropped_sem);
+  json.key("routes_established").value(agg.routes_established);
+  json.key("wormhole_routes").value(agg.wormhole_routes);
+  json.key("fraction_wormhole_routes").value(agg.fraction_wormhole_routes);
+  json.key("fraction_wormhole_routes_sem")
+      .value(agg.fraction_wormhole_routes_sem);
+  json.key("false_isolations").value(agg.false_isolations);
+  json.key("detection_probability").value(agg.detection_probability);
+  json.key("detection_probability_sem").value(agg.detection_probability_sem);
+  json.key("mean_isolation_latency");
+  if (agg.mean_isolation_latency) {
+    json.value(*agg.mean_isolation_latency);
+  } else {
+    json.null();
+  }
+  json.key("runs_fully_isolated")
+      .value(static_cast<std::uint64_t>(agg.runs_fully_isolated));
+  json.close('}');
+}
+
+void emit_replica(JsonOut& json, const RunResult& r) {
+  json.open('{');
+  json.key("seed").value(static_cast<std::uint64_t>(r.seed));
+  json.key("average_degree").value(r.average_degree);
+  json.key("data_originated").value(r.data_originated);
+  json.key("data_delivered").value(r.data_delivered);
+  json.key("data_dropped_malicious").value(r.data_dropped_malicious);
+  json.key("data_dropped_no_route").value(r.data_dropped_no_route);
+  json.key("routes_established").value(r.routes_established);
+  json.key("wormhole_routes").value(r.wormhole_routes);
+  json.key("routes_via_malicious").value(r.routes_via_malicious);
+  json.key("false_isolations").value(r.false_isolations);
+  json.key("local_detections").value(r.local_detections);
+  json.key("alerts_sent").value(r.alerts_sent);
+  json.key("malicious_count")
+      .value(static_cast<std::uint64_t>(r.malicious_count));
+  json.key("malicious_isolated")
+      .value(static_cast<std::uint64_t>(r.malicious_isolated));
+  json.key("isolation_latency");
+  if (r.isolation_latency) {
+    json.value(*r.isolation_latency);
+  } else {
+    json.null();
+  }
+  json.key("frames_transmitted").value(r.frames_transmitted);
+  json.key("frames_delivered").value(r.frames_delivered);
+  json.key("frames_collided").value(r.frames_collided);
+  json.key("mean_delivery_latency").value(r.mean_delivery_latency);
+  json.close('}');
+}
+
+}  // namespace
+
+std::string to_json(const SweepResult& result) {
+  // Timing fields (wall_seconds, cpu_seconds, threads_used) are deliberately
+  // NOT emitted: the JSON is byte-identical across --threads values, so
+  // outputs can be diffed to verify determinism.
+  JsonOut json;
+  json.open('{');
+  json.key("points").open('[');
+  for (const SweepPointResult& point : result.points) {
+    json.open('{');
+    json.key("label").value(point.label);
+    json.key("aggregate");
+    emit_aggregate(json, point.aggregate);
+    json.key("replicas").open('[');
+    for (const RunResult& r : point.replicas) emit_replica(json, r);
+    json.close(']');
+    json.close('}');
+  }
+  json.close(']');
+  json.close('}');
+  return json.str();
+}
+
+}  // namespace lw::scenario

@@ -1,0 +1,74 @@
+// Parallel sweep engine: a grid of (config point x seed replica) jobs
+// fanned across a worker pool, reduced into per-point Aggregates.
+//
+// Determinism guarantee: each job's config depends only on the spec (seeds
+// are assigned by grid index, never by completion order) and every job runs
+// its own independent Simulator, so per-point results are bit-identical for
+// every thread count. Reduction happens in spec order after all jobs have
+// finished; threads only change wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+
+namespace lw::scenario {
+
+/// One grid point: a label plus a mutation applied to the base config.
+struct SweepPoint {
+  std::string label;
+  /// Applied to a copy of the base config; null keeps the base as-is.
+  std::function<void(ExperimentConfig&)> mutate;
+  /// Added to the spec's base_seed for this point's replicas. Leave 0 to
+  /// share seeds across points (paired comparisons on common random
+  /// numbers, the benches' default).
+  std::uint64_t seed_offset = 0;
+};
+
+struct SweepSpec {
+  ExperimentConfig base;
+  std::vector<SweepPoint> points;
+  /// Seed replicas per point; replica i runs seed base_seed + offset + i.
+  int runs = 1;
+  std::uint64_t base_seed = 1;
+  /// Worker threads; 0 means one per hardware thread, 1 runs inline on the
+  /// calling thread (no pool at all).
+  int threads = 1;
+  /// Invoked after each finished job with (jobs_done, jobs_total). Runs on
+  /// whichever worker finished the job, under the engine's lock: keep it
+  /// cheap and thread-agnostic (e.g. a progress line to stderr).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// One swept point's outputs, in spec order.
+struct SweepPointResult {
+  std::string label;
+  Aggregate aggregate;
+  /// Raw per-replica results in seed order (for series/deadline
+  /// post-processing the Aggregate does not cover).
+  std::vector<RunResult> replicas;
+  /// Summed replica run times: the serial cost of this point.
+  double cpu_seconds = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPointResult> points;
+  /// End-to-end wall-clock of the whole sweep.
+  double wall_seconds = 0.0;
+  int threads_used = 1;
+};
+
+/// Runs |points| x runs independent simulations. Each point's config is
+/// finalized and validated before any job starts; config errors throw
+/// std::invalid_argument from the calling thread.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// Machine-readable dump: point labels, Aggregates, per-replica counters.
+/// Timing fields are omitted so the output is byte-identical across
+/// thread counts (diff two runs to check determinism).
+std::string to_json(const SweepResult& result);
+
+}  // namespace lw::scenario

@@ -28,6 +28,7 @@ Logger& Logger::instance() {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   std::ostream& out = sink_ ? *sink_ : std::clog;
   out << '[' << to_string(level) << "] " << message << '\n';
 }

@@ -1,10 +1,13 @@
 // Leveled logging with a process-global sink.
 //
-// The simulator is single-threaded by design, so the logger needs no locks.
-// Protocol code logs through LW_LOG(level) << ...; the level filter is a
-// cheap integer compare when the message is suppressed.
+// Each simulator is single-threaded, but the sweep engine runs several of
+// them concurrently, so emitted lines are serialized under a mutex (whole
+// lines only — LogLine accumulates before writing). Configuration
+// (set_level/set_sink) is expected before worker threads start. The level
+// filter is a cheap integer compare when the message is suppressed.
 #pragma once
 
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -40,6 +43,7 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* sink_ = nullptr;
+  std::mutex write_mutex_;
 };
 
 /// RAII line builder: accumulates a message and emits it on destruction.

@@ -1,0 +1,53 @@
+// Reusable fixed-size worker pool for embarrassingly parallel jobs.
+//
+// The simulator itself stays single-threaded; parallelism lives one level
+// up, where independent Simulator instances (one per sweep job) run on
+// separate workers. submit() enqueues a job, wait_idle() blocks until every
+// submitted job has finished; the pool is reusable across submit/wait
+// cycles. Jobs must not throw — wrap the body and stash the exception if
+// the work can fail (see scenario/sweep.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lw {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (floored at 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is executing.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lw
