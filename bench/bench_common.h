@@ -6,6 +6,14 @@
 //   --threads=T  sweep worker threads (0 = one per hardware thread,
 //                default 1); results are bit-identical for any T
 //   --json       machine-readable output instead of the text tables
+//   --trace=F    write a JSONL event trace of every run to file F
+//   --trace-filter=L  comma-separated layers to trace (phy,mac,nbr,route,
+//                mon,atk; default all)
+//   --profile    collect run profiles; adds per-point profiler totals and
+//                a "timing" section to the sweep JSON, and a summary on
+//                stderr
+//   --quiet      suppress the stderr progress line (on by default when
+//                stderr is a TTY)
 // plus its own flags, all parsed through lw::Config. Mistyped flags make
 // the bench exit non-zero with a message BEFORE any simulation runs
 // (finish(), called once right after flag parsing and once at exit).
@@ -13,10 +21,18 @@
 // accept --runs and --threads for CLI uniformity but ignore them.
 #pragma once
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "obs/event.h"
 #include "scenario/sweep.h"
 #include "util/config.h"
 
@@ -27,6 +43,11 @@ struct Common {
   std::uint64_t seed = 1;
   int threads = 1;
   bool json = false;
+  /// JSONL trace output file; empty = tracing off.
+  std::string trace_file;
+  std::uint32_t trace_layers = lw::obs::kAllLayers;
+  bool profile = false;
+  bool quiet = false;
 };
 
 inline Common parse_common(const lw::Config& args, int default_runs,
@@ -37,14 +58,134 @@ inline Common parse_common(const lw::Config& args, int default_runs,
       args.get_int("seed", static_cast<int>(default_seed)));
   common.threads = args.get_int("threads", 1);
   common.json = args.get_bool("json", false);
+  common.trace_file = args.get_string("trace", "");
+  common.profile = args.get_bool("profile", false);
+  common.quiet = args.get_bool("quiet", false);
+  const std::string filter = args.get_string("trace-filter", "all");
+  try {
+    common.trace_layers = lw::obs::parse_layer_mask(filter);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--trace-filter: %s\n", e.what());
+    std::exit(1);
+  }
   return common;
 }
 
-/// Applies the common knobs to a sweep spec.
+/// Applies the common knobs to a sweep spec (including the observability
+/// switches: tracing when --trace was given, counters and profiling under
+/// --trace/--profile).
 inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
   spec.runs = common.runs;
   spec.base_seed = common.seed;
   spec.threads = common.threads;
+  spec.base.obs.trace = !common.trace_file.empty();
+  spec.base.obs.trace_layers = common.trace_layers;
+  spec.base.obs.profile = common.profile;
+  spec.base.obs.counters = common.profile || !common.trace_file.empty();
+}
+
+namespace detail {
+
+/// Stderr progress line with ETA; enabled by default on a TTY, suppressed
+/// by --quiet. Returns an empty function when disabled.
+inline std::function<void(std::size_t, std::size_t)> make_progress(
+    const Common& common) {
+  if (common.quiet || isatty(fileno(stderr)) == 0) return {};
+  const auto start = std::chrono::steady_clock::now();
+  return [start](std::size_t done, std::size_t total) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double eta =
+        done > 0 ? elapsed * static_cast<double>(total - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+    std::fprintf(stderr, "\r\033[K%zu/%zu jobs (%.0f s elapsed, ETA %.0f s)",
+                 done, total, elapsed, eta);
+    if (done == total) std::fprintf(stderr, "\r\033[K");
+    std::fflush(stderr);
+  };
+}
+
+/// JSON string escaping for the trace run-header lines.
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Writes every run's buffered trace in spec order, each introduced by a
+/// meta line identifying the point and seed. Spec-order writing is what
+/// keeps the file byte-identical at any --threads value.
+inline void write_trace(const Common& common,
+                        const lw::scenario::SweepResult& result) {
+  std::ofstream out(common.trace_file);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace file %s\n",
+                 common.trace_file.c_str());
+    std::exit(1);
+  }
+  for (const auto& point : result.points) {
+    for (const auto& replica : point.replicas) {
+      out << "{\"run\":{\"point\":\"" << json_escape(point.label)
+          << "\",\"seed\":" << replica.seed << "}}\n";
+      out << replica.trace_jsonl;
+    }
+  }
+}
+
+inline void print_profile(const lw::scenario::SweepResult& result) {
+  std::fprintf(stderr, "== profile (%d thread(s), %.2f s wall) ==\n",
+               result.threads_used, result.wall_seconds);
+  for (const auto& point : result.points) {
+    const auto& prof = point.profile;
+    if (!prof.enabled) continue;
+    std::fprintf(stderr,
+                 "%-16s %10llu events  %8.2f s cpu  %6.0f ev/ms  "
+                 "queue<=%zu\n",
+                 point.label.empty() ? "(point)" : point.label.c_str(),
+                 static_cast<unsigned long long>(prof.events_executed),
+                 prof.wall_seconds,
+                 prof.wall_seconds > 0.0
+                     ? static_cast<double>(prof.events_executed) /
+                           (prof.wall_seconds * 1e3)
+                     : 0.0,
+                 prof.max_queue_depth);
+    std::fprintf(stderr, "    per layer:");
+    for (std::size_t i = 0; i < lw::obs::kLayerCount; ++i) {
+      std::fprintf(
+          stderr, " %s=%llu/%.2fs",
+          lw::obs::to_string(static_cast<lw::obs::Layer>(i)),
+          static_cast<unsigned long long>(prof.layers[i].events),
+          prof.layers[i].self_seconds);
+    }
+    std::fprintf(stderr, "\n");
+  }
+}
+
+}  // namespace detail
+
+/// Runs the sweep with the common knobs applied: progress line on a TTY,
+/// trace file written in spec order afterwards, profile summary on stderr.
+/// Sweep benches call this instead of lw::scenario::run_sweep directly.
+inline lw::scenario::SweepResult run_sweep(const Common& common,
+                                           lw::scenario::SweepSpec spec) {
+  apply(common, spec);
+  spec.progress = detail::make_progress(common);
+  lw::scenario::SweepResult result = lw::scenario::run_sweep(spec);
+  if (!common.trace_file.empty()) detail::write_trace(common, result);
+  if (common.profile) detail::print_profile(result);
+  return result;
+}
+
+/// The sweep JSON with timing included exactly when profiling was
+/// requested (keeping the default byte-identical across --threads).
+inline std::string sweep_json(const Common& common,
+                              const lw::scenario::SweepResult& result) {
+  return lw::scenario::to_json(result, common.profile);
 }
 
 /// Rejects mistyped flags; returns the process exit code. Call it right

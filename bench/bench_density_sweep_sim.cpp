@@ -53,11 +53,10 @@ int main(int argc, char** argv) {
          },
          0});
   }
-  bench::apply(common, spec);
-  const auto result = lw::scenario::run_sweep(spec);
+  const auto result = bench::run_sweep(common, std::move(spec));
 
   if (common.json) {
-    std::puts(lw::scenario::to_json(result).c_str());
+    std::puts(bench::sweep_json(common, result).c_str());
     return bench::finish(args);
   }
 

@@ -82,8 +82,7 @@ int main(int argc, char** argv) {
          },
          0});
   }
-  bench::apply(common, spec);
-  const auto result = lw::scenario::run_sweep(spec);
+  const auto result = bench::run_sweep(common, std::move(spec));
 
   std::vector<std::vector<double>> curves;
   curves.reserve(result.points.size());

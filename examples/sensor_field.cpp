@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     trace_file.open(trace_path);
     trace = std::make_unique<lw::phy::TextTrace>(trace_file);
-    net.medium().set_trace(trace.get());
+    net.recorder().add_sink(trace.get(),
+                            lw::obs::layer_bit(lw::obs::Layer::kPhy));
     std::cout << "tracing every PHY event to " << trace_path << '\n';
   }
   std::cout << "topology: " << net.size() << " nodes, average degree "

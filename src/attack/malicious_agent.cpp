@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace lw::attack {
@@ -59,6 +60,13 @@ bool MaliciousAgent::maybe_drop_data(const pkt::Packet& packet) {
   if (!coordinator_.params().drop_data) return false;
   ++data_dropped_;
   if (observer_) observer_->on_data_dropped(env_.id(), packet);
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kAttack)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kAtkDrop,
+             .node = env_.id(),
+             .peer = packet.origin,
+             .packet = &packet});
+  }
   return true;
 }
 
@@ -89,6 +97,12 @@ bool MaliciousAgent::intercept_tunnel_modes(const pkt::Packet& packet) {
     }
     pkt::Packet copy = env_.packet_factory().forward_copy(packet);
     copy.route.push_back(env_.id());
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kAttack)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kAtkTunnel,
+               .node = env_.id(),
+               .packet = &copy});
+    }
     coordinator_.tunnel_to_all(env_.id(), copy);
     return true;  // suppress the honest local rebroadcast
   }
@@ -106,6 +120,13 @@ bool MaliciousAgent::intercept_tunnel_modes(const pkt::Packet& packet) {
     if (!coordinator_.is_colluder(next)) return false;  // normal forwarding
     pkt::Packet copy = env_.packet_factory().forward_copy(packet);
     copy.route_index = idx;
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kAttack)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kAtkTunnel,
+               .node = env_.id(),
+               .peer = next,
+               .packet = &copy});
+    }
     coordinator_.tunnel_to(env_.id(), next, copy);
     return true;
   }
@@ -123,6 +144,13 @@ void MaliciousAgent::on_tunnel(NodeId from_colluder,
     copy.claimed_tx = kInvalidNode;  // we transmit under our own identity
     copy.link_dst = kInvalidNode;
     if (observer_) observer_->on_wormhole_replay(env_.id(), copy);
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kAttack)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kAtkReplay,
+               .node = env_.id(),
+               .peer = from_colluder,
+               .packet = &copy});
+    }
     // No flood jitter: the replay must win the duplicate-suppression race.
     env_.send(std::move(copy));
     return;
@@ -149,6 +177,13 @@ void MaliciousAgent::on_tunnel(NodeId from_colluder,
     copy.announced_prev_hop = fake_prev_hop(from_colluder);
     copy.claimed_tx = kInvalidNode;
     if (observer_) observer_->on_wormhole_replay(env_.id(), copy);
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kAttack)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kAtkReplay,
+               .node = env_.id(),
+               .peer = from_colluder,
+               .packet = &copy});
+    }
     env_.send(std::move(copy));
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace lw::lite {
@@ -79,7 +80,15 @@ void LocalMonitor::check_fabrication(const pkt::Packet& packet) {
   if (watch_.has_transmit(packet.flow_key(), prev, env_.now())) {
     // Legitimate forward; if we were timing this handoff, the obligation
     // is met.
-    watch_.clear_drop_watch(packet.flow_key(), prev, sender);
+    if (watch_.clear_drop_watch(packet.flow_key(), prev, sender)) {
+      if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+        r->emit({.t = env_.now(),
+                 .kind = obs::EventKind::kMonWatchClear,
+                 .node = env_.id(),
+                 .peer = sender,
+                 .packet = &packet});
+      }
+    }
     observe(sender, /*suspicious=*/false, Suspicion::kFabrication);
     return;
   }
@@ -129,15 +138,38 @@ void LocalMonitor::maybe_add_drop_watch(const pkt::Packet& packet) {
         if (watch_.take_expired_drop_watch(flow, from, to)) {
           LW_DEBUG << "guard " << env_.id() << ": REP drop by " << to
                    << " (handed over by " << from << ")";
+          if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+            r->emit({.t = env_.now(),
+                     .kind = obs::EventKind::kMonWatchExpire,
+                     .node = env_.id(),
+                     .peer = to});
+          }
           observe(to, /*suspicious=*/true, Suspicion::kDrop);
         }
       });
-  watch_.add_drop_watch(flow, from, to, deadline, expiry);
+  if (watch_.add_drop_watch(flow, from, to, deadline, expiry)) {
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kMonWatchAdd,
+               .node = env_.id(),
+               .peer = to,
+               .packet = &packet});
+    }
+  }
 }
 
 void LocalMonitor::observe(NodeId suspect, bool suspicious, Suspicion kind) {
   if (suspicious && observer_) {
     observer_->on_suspicion(env_.id(), suspect, kind);
+  }
+  if (suspicious) {
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kMonSuspicion,
+               .node = env_.id(),
+               .peer = suspect,
+               .value = malc(suspect)});
+    }
   }
   if (detected_.count(suspect) != 0) return;
   SuspectState& state = malc_[suspect];
@@ -163,6 +195,13 @@ void LocalMonitor::detect_and_alert(NodeId suspect) {
   table_.revoke(suspect);
   routing_.on_revoked(suspect);
   if (observer_) observer_->on_local_detection(env_.id(), suspect);
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kMonDetection,
+             .node = env_.id(),
+             .peer = suspect,
+             .value = malc(suspect)});
+  }
   LW_INFO << "guard " << env_.id() << " detected node " << suspect
           << " at t=" << env_.now();
 
@@ -194,6 +233,12 @@ void LocalMonitor::send_alert(NodeId suspect) {
     }
   }
   seen_alerts_.insert(alert.flow_key());  // do not re-process our own
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kMonAlert,
+             .node = env_.id(),
+             .peer = suspect});
+  }
   env_.send(std::move(alert), {.flood_jitter = true});
 }
 
@@ -250,6 +295,13 @@ void LocalMonitor::isolate(NodeId suspect, int alerts) {
   table_.revoke(suspect);
   routing_.on_revoked(suspect);
   if (observer_) observer_->on_isolation(env_.id(), suspect, alerts);
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kMonIsolation,
+             .node = env_.id(),
+             .peer = suspect,
+             .value = static_cast<double>(alerts)});
+  }
   LW_INFO << "node " << env_.id() << " isolated " << suspect
           << " after " << alerts << " alerts at t=" << env_.now();
 }

@@ -16,12 +16,14 @@ constexpr PacketUid kCtsUidTag = 1ull << 61;
 }  // namespace
 
 CsmaMac::CsmaMac(sim::Simulator& simulator, phy::Medium& medium,
-                 phy::Radio& radio, Rng backoff_rng, MacParams params)
+                 phy::Radio& radio, Rng backoff_rng, MacParams params,
+                 obs::Recorder* recorder)
     : simulator_(simulator),
       medium_(medium),
       radio_(radio),
       rng_(backoff_rng),
-      params_(params) {
+      params_(params),
+      recorder_(recorder) {
   radio_.set_tx_done_sink([this] { on_tx_done(); });
   radio_.set_frame_sink([this](const pkt::Packet& p) { on_frame(p); });
 }
@@ -88,11 +90,25 @@ void CsmaMac::pump() {
       ++head.busy_attempts;
       if (head.busy_attempts > params_.max_attempts) {
         ++stats_.dropped_channel_busy;
+        if (recorder_ && recorder_->wants(obs::Layer::kMac)) {
+          recorder_->emit({.t = simulator_.now(),
+                           .kind = obs::EventKind::kMacBusyDrop,
+                           .node = radio_.id(),
+                           .packet = &head.packet});
+        }
         queue_.pop_front();
         continue;  // try the next frame
       }
       retry_scheduled_ = true;
-      simulator_.schedule(backoff_delay(head.busy_attempts), [this] {
+      const Duration backoff = backoff_delay(head.busy_attempts);
+      if (recorder_ && recorder_->wants(obs::Layer::kMac)) {
+        recorder_->emit({.t = simulator_.now(),
+                         .kind = obs::EventKind::kMacBackoff,
+                         .node = radio_.id(),
+                         .value = backoff,
+                         .packet = &head.packet});
+      }
+      simulator_.schedule(backoff, [this] {
         retry_scheduled_ = false;
         pump();
       });

@@ -23,6 +23,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/recorder.h"
 #include "phy/medium.h"
 #include "phy/radio.h"
 #include "sim/simulator.h"
@@ -90,8 +91,11 @@ class CsmaMac {
  public:
   using Upcall = std::function<void(const pkt::Packet&)>;
 
+  /// `recorder` (optional) receives mac.backoff / mac.busy_drop events; it
+  /// must outlive the MAC.
   CsmaMac(sim::Simulator& simulator, phy::Medium& medium, phy::Radio& radio,
-          Rng backoff_rng, MacParams params);
+          Rng backoff_rng, MacParams params,
+          obs::Recorder* recorder = nullptr);
 
   /// Frames the MAC delivers upward (everything decoded except MAC-level
   /// control frames and ARQ duplicates).
@@ -141,6 +145,7 @@ class CsmaMac {
   phy::Radio& radio_;
   Rng rng_;
   MacParams params_;
+  obs::Recorder* recorder_;
   Upcall upcall_;
   std::deque<Outgoing> queue_;
   bool retry_scheduled_ = false;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace lw::nbr {
@@ -32,6 +33,11 @@ void DiscoveryAgent::send_hello() {
   hello.seq = ++hello_seq_;
   hello_time_ = env_.now();
   hello_sent_ = true;
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kNeighbor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kNbrHello,
+             .node = env_.id()});
+  }
   env_.send(std::move(hello));
 }
 
@@ -52,6 +58,12 @@ void DiscoveryAgent::send_reply(const pkt::Packet& hello) {
   reply.tag = env_.keys().sign(
       env_.id(), hello.origin,
       reply_auth_message(env_.id(), hello.origin, hello.seq));
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kNeighbor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kNbrReply,
+             .node = env_.id(),
+             .peer = hello.origin});
+  }
   // Spread the reply burst that a HELLO provokes from every neighbor.
   env_.simulator().schedule(
       env_.rng().uniform(0.0, params_.reply_jitter_max),
@@ -72,6 +84,12 @@ void DiscoveryAgent::broadcast_list() {
         {member, env_.keys().sign(env_.id(), member, payload)});
   }
   list_sent_ = true;
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kNeighbor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kNbrList,
+             .node = env_.id(),
+             .value = static_cast<double>(list.neighbor_list.size())});
+  }
   env_.send(std::move(list));
 }
 

@@ -13,6 +13,10 @@
 #include "util/ids.h"
 #include "util/rng.h"
 
+namespace lw::obs {
+class Recorder;
+}
+
 namespace lw::node {
 
 class NodeEnv {
@@ -40,6 +44,11 @@ class NodeEnv {
 
   /// Local congestion signal: frames waiting in the MAC transmit queue.
   virtual std::size_t mac_queue_depth() const = 0;
+
+  /// The run's observability recorder, or null when observability is off
+  /// (the default, and the default for test harnesses). Emit sites guard:
+  ///   if (auto* r = env.obs(); r && r->wants(layer)) r->emit({...});
+  virtual obs::Recorder* obs() { return nullptr; }
 
   Time now() { return simulator().now(); }
 };

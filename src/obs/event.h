@@ -1,0 +1,112 @@
+// Typed protocol events: the vocabulary of the observability layer.
+//
+// Every layer of the stack (PHY, MAC, neighbor discovery, routing, the
+// LITEWORP monitor, and the attack agents) emits Events into a Recorder.
+// An Event is a flat, cheap-to-construct record; the optional packet
+// pointer is valid ONLY for the duration of the synchronous sink dispatch
+// (sinks must copy what they need, never retain the pointer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace lw::pkt {
+struct Packet;
+}
+
+namespace lw::obs {
+
+/// The stack layer an event originates from. Doubles as the unit of
+/// trace filtering and per-layer profiling.
+enum class Layer : std::uint8_t {
+  kPhy = 0,
+  kMac = 1,
+  kNeighbor = 2,
+  kRouting = 3,
+  kMonitor = 4,
+  kAttack = 5,
+};
+inline constexpr std::size_t kLayerCount = 6;
+
+constexpr std::uint32_t layer_bit(Layer layer) {
+  return 1u << static_cast<std::uint32_t>(layer);
+}
+inline constexpr std::uint32_t kAllLayers = (1u << kLayerCount) - 1;
+
+/// Short stable layer name used in trace filters and metric names
+/// ("phy", "mac", "nbr", "route", "mon", "atk").
+const char* to_string(Layer layer);
+
+/// Parses a comma-separated layer list ("phy,mac,mon") into a mask.
+/// "all" (or an empty string) selects every layer. Throws
+/// std::invalid_argument on an unknown layer name.
+std::uint32_t parse_layer_mask(const std::string& spec);
+
+enum class EventKind : std::uint8_t {
+  // ---- PHY (medium) ----
+  kPhyTx = 0,        // frame put on the air        peer: -      value: airtime
+  kPhyRx,            // frame decoded by a receiver peer: receiver
+  kPhyCollision,     // reception lost to overlap   peer: receiver
+  kPhyLoss,          // reception lost to channel   peer: receiver
+
+  // ---- MAC ----
+  kMacBackoff,       // carrier busy, backoff armed value: delay [s]
+  kMacBusyDrop,      // frame dropped, retries out
+  kMacOverhear,      // decoded frame not addressed to us  peer: claimed tx
+
+  // ---- Neighbor discovery / admission ----
+  kNbrHello,         // HELLO broadcast
+  kNbrReply,         // authenticated HELLO reply   peer: announcer
+  kNbrList,          // R_A list broadcast          value: list size
+  kNbrAdmit,         // frame passed admission      peer: claimed tx
+  kNbrReject,        // frame failed admission      peer: claimed tx
+
+  // ---- Routing ----
+  kRouteDiscovery,   // REQ flood started           peer: destination
+  kRouteEstablished, // usable route cached         peer: destination value: hops
+  kRouteForward,     // DATA forwarded              peer: next hop
+  kRouteDeliver,     // DATA reached destination    value: e2e latency [s]
+  kRouteDrop,        // DATA dropped (no route)
+  kRouteError,       // RERR originated             peer: broken node
+
+  // ---- LITEWORP monitor ----
+  kMonWatchAdd,      // drop watch armed            peer: obligated forwarder
+  kMonWatchClear,    // watched forward overheard   peer: obligated forwarder
+  kMonWatchExpire,   // watch expired -> drop       peer: obligated forwarder
+  kMonSuspicion,     // MalC incremented            peer: suspect  value: MalC
+  kMonDetection,     // MalC crossed C_t            peer: suspect
+  kMonAlert,         // alert transmitted           peer: accused
+  kMonIsolation,     // gamma alerts -> isolated    peer: accused  value: alerts
+
+  // ---- Attack (ground truth) ----
+  kAtkTunnel,        // frame entered the tunnel    peer: colluder
+  kAtkReplay,        // tunneled frame replayed
+  kAtkDrop,          // data swallowed
+};
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kAtkDrop) + 1;
+
+/// Short stable event name ("tx", "watch_add", ...); combined with the
+/// layer it forms the metrics-registry counter name "<layer>.<event>".
+const char* to_string(EventKind kind);
+
+/// The layer an event kind belongs to.
+Layer layer_of(EventKind kind);
+
+struct Event {
+  Time t = 0.0;
+  EventKind kind = EventKind::kPhyTx;
+  /// The acting node (transmitter, guard, forwarder, ...).
+  NodeId node = kInvalidNode;
+  /// The counterpart, when one exists (receiver, suspect, destination).
+  NodeId peer = kInvalidNode;
+  /// Kind-specific scalar (latency, backoff delay, MalC, hop count).
+  double value = 0.0;
+  /// The packet involved, when one exists. Valid only during dispatch.
+  const pkt::Packet* packet = nullptr;
+};
+
+}  // namespace lw::obs

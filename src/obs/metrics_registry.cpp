@@ -1,0 +1,72 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace lw::obs {
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  const auto percentile = [&sorted](double p) {
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto index = static_cast<std::size_t>(rank);
+    if (index + 1 >= sorted.size()) return sorted.back();
+    const double frac = rank - static_cast<double>(index);
+    return sorted[index] * (1.0 - frac) + sorted[index + 1] * frac;
+  };
+  s.p50 = percentile(50.0);
+  s.p95 = percentile(95.0);
+  return s;
+}
+
+void RegistrySnapshot::add_counters(const RegistrySnapshot& other) {
+  for (const auto& [name, count] : other.counters) counters[name] += count;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  snap.counters = counters_;
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist.summary());
+  }
+  return snap;
+}
+
+void RegistrySink::on_event(const Event& event) {
+  ++by_kind_[static_cast<std::size_t>(event.kind)];
+  if (event.kind == EventKind::kRouteDeliver) {
+    deliver_latency_.add(event.value);
+  } else if (event.kind == EventKind::kMacBackoff) {
+    backoff_delay_.add(event.value);
+  }
+}
+
+RegistrySnapshot RegistrySink::snapshot() const {
+  RegistrySnapshot snap;
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    if (by_kind_[i] == 0) continue;
+    const EventKind kind = static_cast<EventKind>(i);
+    std::string name = to_string(layer_of(kind));
+    name += '.';
+    name += to_string(kind);
+    snap.counters.emplace(std::move(name), by_kind_[i]);
+  }
+  if (deliver_latency_.count() > 0) {
+    snap.histograms.emplace("route.deliver_latency",
+                            deliver_latency_.summary());
+  }
+  if (backoff_delay_.count() > 0) {
+    snap.histograms.emplace("mac.backoff_delay", backoff_delay_.summary());
+  }
+  return snap;
+}
+
+}  // namespace lw::obs

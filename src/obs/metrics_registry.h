@@ -1,0 +1,90 @@
+// Named counters and histograms fed by the event stream.
+//
+// The registry generalizes the hand-wired counting inside
+// stats::MetricsCollector: every event kind becomes a counter named
+// "<layer>.<event>" (e.g. "phy.tx", "mon.isolation"), and selected
+// value-carrying events feed histograms ("route.deliver_latency",
+// "mac.backoff_delay"). Counting is O(1) per event — a fixed array indexed
+// by EventKind — and names are materialized only when a snapshot is taken,
+// so the per-event cost is an increment.
+//
+// Snapshots use std::map so iteration (and hence JSON emission) is in
+// deterministic name order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace lw::obs {
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Sample-keeping histogram; summary percentiles use the same linear
+/// interpolation as MetricsCollector::latency_percentile.
+class Histogram {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  std::uint64_t count() const { return samples_.size(); }
+  HistogramSummary summary() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Deterministic, by-name snapshot of a run's registry; stored in
+/// RunResult and summed across replicas for the sweep JSON.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSummary> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+
+  /// Sums `other`'s counters into this snapshot (histograms are per-run
+  /// and are not merged).
+  void add_counters(const RegistrySnapshot& other);
+};
+
+/// General-purpose registry for code that wants named metrics outside the
+/// event stream. The event-driven path (RegistrySink) bypasses the string
+/// lookup entirely.
+class MetricsRegistry {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  RegistrySnapshot snapshot() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// EventSink that counts every event per kind and feeds the
+/// value-carrying histograms.
+class RegistrySink final : public EventSink {
+ public:
+  void on_event(const Event& event) override;
+
+  /// Materializes counter/histogram names; zero-count kinds are omitted.
+  RegistrySnapshot snapshot() const;
+
+ private:
+  std::uint64_t by_kind_[kEventKindCount] = {};
+  Histogram deliver_latency_;
+  Histogram backoff_delay_;
+};
+
+}  // namespace lw::obs

@@ -1,0 +1,27 @@
+// Per-run observability switches, carried inside ExperimentConfig.
+//
+// All off by default: a default-configured run builds no Recorder at all
+// and every emit site reduces to a null-pointer compare.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/event.h"
+
+namespace lw::obs {
+
+struct Options {
+  /// Record a JSONL event trace into RunResult::trace_jsonl.
+  bool trace = false;
+  /// Layers included in the trace (metrics/profiling always see all).
+  std::uint32_t trace_layers = kAllLayers;
+  /// Count events into a MetricsRegistry snapshot (RunResult::registry).
+  bool counters = false;
+  /// Profile the run (RunResult::profile): per-layer wall time and event
+  /// counts, events/second, simulator queue high-water mark.
+  bool profile = false;
+
+  bool any() const { return trace || counters || profile; }
+};
+
+}  // namespace lw::obs

@@ -1,0 +1,21 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+namespace lw::obs {
+
+void ProfileTotals::accumulate(const ProfileReport& report) {
+  if (!report.enabled) return;
+  enabled = true;
+  ++runs;
+  wall_seconds += report.wall_seconds;
+  events_executed += report.events_executed;
+  max_queue_depth = std::max(max_queue_depth, report.max_queue_depth);
+  virtual_seconds += report.virtual_seconds;
+  for (std::size_t i = 0; i < kLayerCount; ++i) {
+    layers[i].events += report.layers[i].events;
+    layers[i].self_seconds += report.layers[i].self_seconds;
+  }
+}
+
+}  // namespace lw::obs

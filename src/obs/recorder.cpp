@@ -1,0 +1,18 @@
+#include "obs/recorder.h"
+
+namespace lw::obs {
+
+void Recorder::add_sink(EventSink* sink, std::uint32_t layer_mask) {
+  if (sink == nullptr || layer_mask == 0) return;
+  sinks_.push_back({sink, layer_mask});
+  active_mask_ |= layer_mask;
+}
+
+void Recorder::emit(const Event& event) {
+  const std::uint32_t bit = layer_bit(layer_of(event.kind));
+  for (const Subscription& sub : sinks_) {
+    if (sub.mask & bit) sub.sink->on_event(event);
+  }
+}
+
+}  // namespace lw::obs

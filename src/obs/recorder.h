@@ -1,0 +1,62 @@
+// The per-run event bus of the observability layer.
+//
+// One Recorder exists per simulation run (owned by scenario::Network) and
+// fans every emitted Event out to its sinks synchronously, on the (single)
+// thread driving that run's simulator. Sweep workers each drive their own
+// run with its own Recorder, so no cross-thread synchronization is needed
+// and trace output stays deterministic for a given seed at any thread
+// count.
+//
+// Zero-cost-when-disabled contract: every emit site guards with
+//   if (rec != nullptr && rec->wants(Layer::kX)) rec->emit({...});
+// so a run without observability pays one pointer compare per site, and a
+// run tracing only some layers pays one mask test for the others.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lw::obs {
+
+class RunProfiler;
+
+/// Consumer of the event stream (trace writer, metrics registry,
+/// profiler). Dispatch is synchronous; sinks must not retain
+/// Event::packet.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+class Recorder {
+ public:
+  /// Registers a sink for the layers in `layer_mask`. Sinks must outlive
+  /// the recorder.
+  void add_sink(EventSink* sink, std::uint32_t layer_mask = kAllLayers);
+
+  /// True when at least one sink listens to `layer`: the emit-site guard.
+  bool wants(Layer layer) const { return (active_mask_ & layer_bit(layer)) != 0; }
+
+  /// Dispatches to every sink whose mask covers the event's layer.
+  void emit(const Event& event);
+
+  /// The profiler driving ScopedTimer attribution; null when profiling is
+  /// off (timers become no-ops).
+  RunProfiler* profiler() const { return profiler_; }
+  void set_profiler(RunProfiler* profiler) { profiler_ = profiler; }
+
+ private:
+  struct Subscription {
+    EventSink* sink;
+    std::uint32_t mask;
+  };
+
+  std::vector<Subscription> sinks_;
+  std::uint32_t active_mask_ = 0;
+  RunProfiler* profiler_ = nullptr;
+};
+
+}  // namespace lw::obs

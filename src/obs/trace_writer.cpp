@@ -1,0 +1,41 @@
+#include "obs/trace_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "packet/packet.h"
+
+namespace lw::obs {
+
+void TraceWriter::on_event(const Event& event) {
+  // printf-family formatting: byte-deterministic and locale-independent,
+  // unlike ostream floats.
+  char buffer[256];
+  int n = std::snprintf(buffer, sizeof(buffer),
+                        "{\"t\":%.9f,\"layer\":\"%s\",\"event\":\"%s\","
+                        "\"node\":%" PRIu32,
+                        event.t, to_string(layer_of(event.kind)),
+                        to_string(event.kind),
+                        static_cast<std::uint32_t>(event.node));
+  out_.write(buffer, n);
+  if (event.peer != kInvalidNode) {
+    n = std::snprintf(buffer, sizeof(buffer), ",\"peer\":%" PRIu32,
+                      static_cast<std::uint32_t>(event.peer));
+    out_.write(buffer, n);
+  }
+  if (event.packet != nullptr) {
+    n = std::snprintf(buffer, sizeof(buffer),
+                      ",\"pkt\":\"%s\",\"origin\":%" PRIu32 ",\"seq\":%" PRIu64,
+                      pkt::to_string(event.packet->type),
+                      static_cast<std::uint32_t>(event.packet->origin),
+                      static_cast<std::uint64_t>(event.packet->seq));
+    out_.write(buffer, n);
+  }
+  if (event.value != 0.0) {
+    n = std::snprintf(buffer, sizeof(buffer), ",\"value\":%.9g", event.value);
+    out_.write(buffer, n);
+  }
+  out_.write("}\n", 2);
+}
+
+}  // namespace lw::obs

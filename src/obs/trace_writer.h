@@ -1,0 +1,28 @@
+// JSONL event trace: the machine-readable replacement for an ns-2 trace
+// file.
+//
+// One JSON object per line, schema documented in EXPERIMENTS.md
+// ("Observability"). All formatting is locale-independent fixed printf
+// formatting, and events arrive in deterministic simulator order, so the
+// trace of a fixed-seed run is byte-identical across repeated runs and
+// across sweep thread counts (enforced by the golden-trace test).
+#pragma once
+
+#include <ostream>
+
+#include "obs/recorder.h"
+
+namespace lw::obs {
+
+class TraceWriter final : public EventSink {
+ public:
+  /// The stream must outlive the writer.
+  explicit TraceWriter(std::ostream& out) : out_(out) {}
+
+  void on_event(const Event& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace lw::obs

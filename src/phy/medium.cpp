@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/profiler.h"
+
 namespace lw::phy {
 
 Medium::Medium(sim::Simulator& simulator, const topo::DiscGraph& graph,
@@ -39,6 +41,8 @@ bool Medium::channel_busy(NodeId node) const {
 
 void Medium::transmit(NodeId sender, pkt::Packet packet,
                       double range_multiplier) {
+  obs::ScopedTimer obs_timer(recorder_ ? recorder_->profiler() : nullptr,
+                             obs::Layer::kPhy);
   Radio* tx_radio = radios_.at(sender);
   assert(tx_radio != nullptr && "transmit from unattached radio");
 
@@ -62,7 +66,13 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
   if (collisions) tx_radio->corrupt_ongoing_receptions();
   simulator_.schedule(duration, [tx_radio] { tx_radio->finish_transmit(); });
   ++stats_.frames_transmitted;
-  if (trace_) trace_->on_transmit(now, *shared, sender);
+  if (recorder_ && recorder_->wants(obs::Layer::kPhy)) {
+    recorder_->emit({.t = now,
+                     .kind = obs::EventKind::kPhyTx,
+                     .node = sender,
+                     .value = duration,
+                     .packet = shared.get()});
+  }
   const auto type_index = static_cast<std::size_t>(shared->type);
   if (type_index < stats_.tx_by_type.size()) {
     ++stats_.tx_by_type[type_index];
@@ -97,31 +107,31 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
                                simulator_.now() >=
                                    params_.collision_free_until &&
                                loss_rng_.chance(params_.extra_loss_prob);
+      obs::EventKind rx_kind = obs::EventKind::kPhyRx;
       switch (rx_radio->finish_receive(*shared, random_loss)) {
         case RxOutcome::kDelivered:
           ++stats_.frames_delivered;
-          if (trace_) {
-            trace_->on_deliver(simulator_.now(), *shared, rx_radio->id());
-          }
           break;
         case RxOutcome::kCollision: {
           ++stats_.frames_collided;
+          rx_kind = obs::EventKind::kPhyCollision;
           const auto idx = static_cast<std::size_t>(shared->type);
           if (idx < stats_.collisions_by_type.size()) {
             ++stats_.collisions_by_type[idx];
-          }
-          if (trace_) {
-            trace_->on_collision(simulator_.now(), *shared, rx_radio->id());
           }
           break;
         }
         case RxOutcome::kRandomLoss:
           ++stats_.frames_random_lost;
-          if (trace_) {
-            trace_->on_random_loss(simulator_.now(), *shared,
-                                   rx_radio->id());
-          }
+          rx_kind = obs::EventKind::kPhyLoss;
           break;
+      }
+      if (recorder_ && recorder_->wants(obs::Layer::kPhy)) {
+        recorder_->emit({.t = simulator_.now(),
+                         .kind = rx_kind,
+                         .node = shared->tx_node,
+                         .peer = rx_radio->id(),
+                         .packet = shared.get()});
       }
     });
   }

@@ -15,10 +15,10 @@
 #include <memory>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "packet/packet.h"
 #include "phy/phy_params.h"
 #include "phy/radio.h"
-#include "phy/trace.h"
 #include "sim/simulator.h"
 #include "topology/disc_graph.h"
 #include "util/rng.h"
@@ -66,9 +66,11 @@ class Medium {
   /// power). Honest nodes stay at 1.0.
   void set_rx_range_multiplier(NodeId node, double multiplier);
 
-  /// Attaches a trace sink observing every transmission and per-receiver
-  /// outcome. Must outlive the medium; nullptr detaches.
-  void set_trace(TraceSink* trace) { trace_ = trace; }
+  /// Attaches the run's observability recorder; the medium emits typed
+  /// phy.tx/rx/collision/loss events into it (per-frame tracing — e.g.
+  /// phy::TextTrace — subscribes there). Must outlive the medium; nullptr
+  /// (the default) disables emission entirely.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
   const MediumStats& stats() const { return stats_; }
   const PhyParams& params() const { return params_; }
@@ -86,7 +88,7 @@ class Medium {
   Rng loss_rng_;
   std::vector<Radio*> radios_;
   std::vector<double> rx_range_multiplier_;
-  TraceSink* trace_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
   MediumStats stats_;
 };
 

@@ -4,9 +4,29 @@
 
 namespace lw::phy {
 
-void TextTrace::line(Time now, const char* event, NodeId node,
+void TextTrace::on_event(const obs::Event& event) {
+  if (event.packet == nullptr) return;
+  switch (event.kind) {
+    case obs::EventKind::kPhyTx:
+      line(event.t, "TX  ", event.node, *event.packet);
+      break;
+    case obs::EventKind::kPhyRx:
+      line(event.t, "RX  ", event.peer, *event.packet);
+      break;
+    case obs::EventKind::kPhyCollision:
+      line(event.t, "COLL", event.peer, *event.packet);
+      break;
+    case obs::EventKind::kPhyLoss:
+      line(event.t, "LOSS", event.peer, *event.packet);
+      break;
+    default:
+      break;  // subscribed beyond kPhy: not this sink's business
+  }
+}
+
+void TextTrace::line(Time now, const char* label, NodeId node,
                      const pkt::Packet& packet) {
-  out_ << std::fixed << std::setprecision(6) << now << ' ' << event
+  out_ << std::fixed << std::setprecision(6) << now << ' ' << label
        << " node=" << node << ' ';
   if (verbose_) {
     out_ << packet.describe();

@@ -1,59 +1,37 @@
-// Packet-event tracing.
+// Human-readable packet tracing, built on the obs event stream.
 //
-// A TraceSink attached to the medium observes every transmission and every
-// per-receiver outcome — the debugging view an ns-2 trace file provides.
-// TextTrace renders one line per event; attach it to a file stream to get
-// a replayable log of a run.
+// TextTrace renders the PHY events (tx / rx / collision / loss) one line
+// each — the debugging view an ns-2 trace file provides. It is an
+// obs::EventSink rather than a bespoke medium hook, so it attaches to a
+// run's Recorder like any other consumer:
+//
+//   lw::phy::TextTrace trace(file);
+//   network.recorder().add_sink(&trace,
+//                               lw::obs::layer_bit(lw::obs::Layer::kPhy));
 #pragma once
 
 #include <ostream>
 
+#include "obs/event.h"
+#include "obs/recorder.h"
 #include "packet/packet.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
 
 namespace lw::phy {
 
-class TraceSink {
- public:
-  virtual ~TraceSink() = default;
-  virtual void on_transmit(Time now, const pkt::Packet& packet,
-                           NodeId sender) = 0;
-  virtual void on_deliver(Time now, const pkt::Packet& packet,
-                          NodeId receiver) = 0;
-  virtual void on_collision(Time now, const pkt::Packet& packet,
-                            NodeId receiver) = 0;
-  virtual void on_random_loss(Time now, const pkt::Packet& packet,
-                              NodeId receiver) = 0;
-};
-
 /// One line per event:  <time> <EVENT> node=<id> <packet description>
-class TextTrace final : public TraceSink {
+class TextTrace final : public obs::EventSink {
  public:
   /// The stream must outlive the trace. Set `verbose` for full packet
   /// descriptions instead of the compact type/flow form.
   explicit TextTrace(std::ostream& out, bool verbose = false)
       : out_(out), verbose_(verbose) {}
 
-  void on_transmit(Time now, const pkt::Packet& packet,
-                   NodeId sender) override {
-    line(now, "TX  ", sender, packet);
-  }
-  void on_deliver(Time now, const pkt::Packet& packet,
-                  NodeId receiver) override {
-    line(now, "RX  ", receiver, packet);
-  }
-  void on_collision(Time now, const pkt::Packet& packet,
-                    NodeId receiver) override {
-    line(now, "COLL", receiver, packet);
-  }
-  void on_random_loss(Time now, const pkt::Packet& packet,
-                      NodeId receiver) override {
-    line(now, "LOSS", receiver, packet);
-  }
+  void on_event(const obs::Event& event) override;
 
  private:
-  void line(Time now, const char* event, NodeId node,
+  void line(Time now, const char* label, NodeId node,
             const pkt::Packet& packet);
 
   std::ostream& out_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace lw::routing {
@@ -51,6 +52,12 @@ void OnDemandRouting::queue_for_discovery(NodeId destination,
   Discovery& discovery = discoveries_[destination];
   if (discovery.queue.size() >= params_.pending_queue_limit) {
     if (observer_) observer_->on_data_dropped_no_route(env_.id());
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kRouteDrop,
+               .node = env_.id(),
+               .peer = destination});
+    }
     return;
   }
   discovery.queue.push_back({payload_bytes, created_at});
@@ -80,6 +87,12 @@ void OnDemandRouting::start_discovery(NodeId destination) {
   req.route = {env_.id()};
   req.created_at = env_.now();
   if (observer_) observer_->on_discovery_started(env_.id(), destination);
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kRouteDiscovery,
+             .node = env_.id(),
+             .peer = destination});
+  }
   env_.send(std::move(req), {.flood_jitter = false});
   schedule_discovery_retry(destination);
 }
@@ -252,6 +265,14 @@ void OnDemandRouting::handle_reply(const pkt::Packet& packet) {
       if (observer_) {
         observer_->on_route_established(env_.id(), packet.route);
       }
+      if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+        r->emit({.t = env_.now(),
+                 .kind = obs::EventKind::kRouteEstablished,
+                 .node = env_.id(),
+                 .peer = destination,
+                 .value = static_cast<double>(packet.route.size() - 1),
+                 .packet = &packet});
+      }
     }
     flush_pending(destination);
     return;
@@ -289,6 +310,14 @@ void OnDemandRouting::handle_data(const pkt::Packet& packet) {
 
   if (packet.final_dst == env_.id()) {
     if (observer_) observer_->on_data_delivered(env_.id(), packet);
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kRouteDeliver,
+               .node = env_.id(),
+               .peer = packet.origin,
+               .value = env_.now() - packet.created_at,
+               .packet = &packet});
+    }
     return;
   }
 
@@ -309,6 +338,13 @@ void OnDemandRouting::handle_data(const pkt::Packet& packet) {
     send_route_error(packet, fwd.link_dst);
     return;
   }
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kRouteForward,
+             .node = env_.id(),
+             .peer = fwd.link_dst,
+             .packet = &packet});
+  }
   env_.send(std::move(fwd));
 }
 
@@ -325,6 +361,12 @@ void OnDemandRouting::send_route_error(const pkt::Packet& broken_packet,
   rerr.broken_node = broken;
   rerr.link_dst = broken_packet.route[my_index - 1];
   if (table_.is_revoked(rerr.link_dst)) return;  // no way back either
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kRouteError,
+             .node = env_.id(),
+             .peer = broken});
+  }
   env_.send(std::move(rerr));
 }
 

@@ -15,6 +15,7 @@
 #include "liteworp/monitor.h"
 #include "mac/csma_mac.h"
 #include "neighbor/discovery.h"
+#include "obs/options.h"
 #include "neighbor/dynamic_join.h"
 #include "phy/phy_params.h"
 #include "routing/routing.h"
@@ -80,6 +81,11 @@ struct ExperimentConfig {
   /// Bootstrap neighbor tables from geometry instead of running the
   /// discovery message exchange (fast unit-test mode).
   bool oracle_discovery = false;
+
+  // ---- Observability ----
+  /// Typed event recording (trace / counters / profiling). All off by
+  /// default; the stack then skips every emit site on a null check.
+  obs::Options obs;
 
   /// The paper's Table 2 setup. liteworp.enabled selects protected vs
   /// baseline runs.

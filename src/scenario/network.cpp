@@ -1,6 +1,7 @@
 #include "scenario/network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "topology/field.h"
@@ -35,9 +36,28 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
   config_.finalize();
   RngFactory rngs(config_.seed);
 
+  // The recorder always exists so callers can attach their own sinks
+  // (e.g. phy::TextTrace) right after construction; with no sinks every
+  // emit site short-circuits on the wants() mask test.
+  recorder_ = std::make_unique<obs::Recorder>();
+  if (config_.obs.trace) {
+    trace_writer_ = std::make_unique<obs::TraceWriter>(trace_buffer_);
+    recorder_->add_sink(trace_writer_.get(), config_.obs.trace_layers);
+  }
+  if (config_.obs.counters) {
+    registry_ = std::make_unique<obs::RegistrySink>();
+    recorder_->add_sink(registry_.get());
+  }
+  if (config_.obs.profile) {
+    profiler_ = std::make_unique<obs::RunProfiler>();
+    recorder_->add_sink(profiler_.get());
+    recorder_->set_profiler(profiler_.get());
+  }
+
   graph_ = std::make_unique<topo::DiscGraph>(build_topology(rngs));
   medium_ = std::make_unique<phy::Medium>(simulator_, *graph_, config_.phy,
                                           rngs.stream("phy-loss"));
+  medium_->set_recorder(recorder_.get());
   metrics_ = metrics ? metrics(simulator_, *graph_, malicious_ids_)
                      : std::make_unique<stats::MetricsCollector>(
                            simulator_, *graph_, malicious_ids_);
@@ -52,7 +72,8 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
         malicious_ids_.end();
     nodes_.push_back(std::make_unique<Node>(
         id, config_, simulator_, *medium_, keys_, factory_, metrics_.get(),
-        rngs.stream("node", id), malicious, coordinator_.get()));
+        rngs.stream("node", id), malicious, coordinator_.get(),
+        recorder_.get()));
     // Geographical leashes need each node's own (GPS-style) location.
     const topo::Position& at = graph_->position(id);
     nodes_.back()->leash().set_own_position(at.x, at.y);
@@ -248,6 +269,23 @@ void Network::configure_attack() {
 
 void Network::run() { run_until(config_.duration); }
 
-void Network::run_until(Time t) { simulator_.run_until(t); }
+void Network::run_until(Time t) {
+  const auto start = std::chrono::steady_clock::now();
+  simulator_.run_until(t);
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+obs::ProfileReport Network::profile() const {
+  obs::ProfileReport report;
+  report.enabled = config_.obs.profile;
+  report.wall_seconds = wall_seconds_;
+  report.events_executed = simulator_.executed();
+  report.max_queue_depth = simulator_.max_pending();
+  report.virtual_seconds = simulator_.now();
+  if (profiler_) report.layers = profiler_->layers();
+  return report;
+}
 
 }  // namespace lw::scenario

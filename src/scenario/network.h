@@ -8,9 +8,15 @@
 
 #include <functional>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "attack/coordinator.h"
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
+#include "obs/recorder.h"
+#include "obs/trace_writer.h"
 #include "phy/medium.h"
 #include "scenario/node.h"
 #include "sim/simulator.h"
@@ -52,6 +58,27 @@ class Network {
   /// Ground-truth average degree of the built topology.
   double average_degree() const { return graph_->average_degree(); }
 
+  // ---- Observability (config().obs selects what is live) ----
+
+  /// The run's event recorder. Always present: config().obs selects the
+  /// built-in sinks (trace/counters/profile), and callers may add their
+  /// own (e.g. phy::TextTrace) before running.
+  obs::Recorder& recorder() { return *recorder_; }
+
+  /// JSONL trace accumulated so far (empty unless obs.trace). Buffered in
+  /// memory so sweeps can write per-run traces in spec order regardless of
+  /// worker-thread interleaving.
+  std::string trace_jsonl() const { return trace_buffer_.str(); }
+
+  /// Counter/histogram snapshot (empty unless obs.counters).
+  obs::RegistrySnapshot registry_snapshot() const {
+    return registry_ ? registry_->snapshot() : obs::RegistrySnapshot{};
+  }
+
+  /// Profiling report; enabled flag mirrors obs.profile. Wall time covers
+  /// the run()/run_until() calls made so far.
+  obs::ProfileReport profile() const;
+
  private:
   topo::DiscGraph build_topology(const RngFactory& rngs);
   std::vector<NodeId> pick_malicious(const topo::DiscGraph& graph, Rng& rng,
@@ -62,6 +89,12 @@ class Network {
   sim::Simulator simulator_;
   crypto::KeyManager keys_;
   pkt::PacketFactory factory_;
+  std::ostringstream trace_buffer_;
+  std::unique_ptr<obs::TraceWriter> trace_writer_;
+  std::unique_ptr<obs::RegistrySink> registry_;
+  std::unique_ptr<obs::RunProfiler> profiler_;
+  std::unique_ptr<obs::Recorder> recorder_;
+  double wall_seconds_ = 0.0;
   std::unique_ptr<topo::DiscGraph> graph_;
   std::unique_ptr<phy::Medium> medium_;
   std::vector<NodeId> malicious_ids_;

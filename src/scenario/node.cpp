@@ -1,4 +1,6 @@
 #include "scenario/node.h"
+
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace lw::scenario {
@@ -7,15 +9,17 @@ Node::Node(NodeId id, const ExperimentConfig& config,
            sim::Simulator& simulator, phy::Medium& medium,
            const crypto::KeyManager& keys, pkt::PacketFactory& factory,
            stats::MetricsCollector* metrics, Rng rng, bool malicious,
-           attack::WormholeCoordinator* coordinator)
+           attack::WormholeCoordinator* coordinator, obs::Recorder* recorder)
     : id_(id),
       config_(config),
       simulator_(simulator),
       keys_(keys),
       factory_(factory),
       rng_(rng),
+      recorder_(recorder),
       radio_(id),
-      mac_(simulator, medium, radio_, Rng(rng_.engine()()), config.mac),
+      mac_(simulator, medium, radio_, Rng(rng_.engine()()), config.mac,
+           recorder),
       discovery_(*this, table_, config.discovery),
       join_(*this, table_, config.join),
       routing_(*this, table_, config.routing, metrics),
@@ -66,22 +70,46 @@ void Node::send(pkt::Packet packet, mac::SendOptions options) {
 void Node::handle_frame(const pkt::Packet& packet) {
   if (!deployed_) return;  // not in the field yet
 
+  obs::RunProfiler* profiler = recorder_ ? recorder_->profiler() : nullptr;
+
+  // Promiscuous decode of a unicast meant for someone else: the raw
+  // material of both LITEWORP guarding and the watch-buffer bookkeeping.
+  if (recorder_ && recorder_->wants(obs::Layer::kMac) &&
+      packet.link_dst != kInvalidNode && packet.link_dst != id_) {
+    recorder_->emit({.t = simulator_.now(),
+                     .kind = obs::EventKind::kMacOverhear,
+                     .node = id_,
+                     .peer = packet.claimed_tx,
+                     .packet = &packet});
+  }
+
   // Byzantine nodes act first; a consumed frame never reaches the honest
   // stack.
-  if (malicious_agent_ && malicious_agent_->intercept(packet)) return;
+  if (malicious_agent_) {
+    obs::ScopedTimer timer(profiler, obs::Layer::kAttack);
+    if (malicious_agent_->intercept(packet)) return;
+  }
 
   // Honest promiscuous tap: guards watch everything they can decode.
-  if (monitor_) monitor_->on_overhear(packet);
+  if (monitor_) {
+    obs::ScopedTimer timer(profiler, obs::Layer::kMonitor);
+    monitor_->on_overhear(packet);
+  }
 
   switch (packet.type) {
     case pkt::PacketType::kHello:
     case pkt::PacketType::kHelloReply:
-    case pkt::PacketType::kNeighborList:
+    case pkt::PacketType::kNeighborList: {
+      obs::ScopedTimer timer(profiler, obs::Layer::kNeighbor);
       discovery_.handle(packet);
       return;
+    }
 
     case pkt::PacketType::kAlert:
-      if (monitor_) monitor_->handle_alert(packet);
+      if (monitor_) {
+        obs::ScopedTimer timer(profiler, obs::Layer::kMonitor);
+        monitor_->handle_alert(packet);
+      }
       return;
 
     case pkt::PacketType::kRouteRequest:
@@ -93,23 +121,37 @@ void Node::handle_frame(const pkt::Packet& packet) {
       // Comparator defense: temporal leash (no-op unless enabled).
       if (!leash_.check(packet, simulator_.now())) return;
       if (config_.liteworp.enabled && !malicious_agent_) {
+        obs::ScopedTimer timer(profiler, obs::Layer::kNeighbor);
         const nbr::Admission verdict = nbr::check_frame(table_, packet);
         admission_stats_.record(verdict);
-        if (verdict != nbr::Admission::kAccept) {
+        const bool accepted = verdict == nbr::Admission::kAccept;
+        if (recorder_ && recorder_->wants(obs::Layer::kNeighbor)) {
+          recorder_->emit({.t = simulator_.now(),
+                           .kind = accepted ? obs::EventKind::kNbrAdmit
+                                            : obs::EventKind::kNbrReject,
+                           .node = id_,
+                           .peer = packet.claimed_tx,
+                           .value = static_cast<double>(verdict),
+                           .packet = &packet});
+        }
+        if (!accepted) {
           LW_DEBUG << "node " << id_ << ": rejected ("
                    << nbr::to_string(verdict) << ") " << packet.describe();
           return;
         }
       }
+      obs::ScopedTimer timer(profiler, obs::Layer::kRouting);
       routing_.handle(packet);
       return;
     }
 
     case pkt::PacketType::kJoinHello:
     case pkt::PacketType::kJoinChallenge:
-    case pkt::PacketType::kJoinResponse:
+    case pkt::PacketType::kJoinResponse: {
+      obs::ScopedTimer timer(profiler, obs::Layer::kNeighbor);
       join_.handle(packet);
       return;
+    }
 
     case pkt::PacketType::kAck:
     case pkt::PacketType::kRts:

@@ -26,10 +26,14 @@ namespace lw::scenario {
 
 class Node final : public node::NodeEnv {
  public:
+  /// `recorder` (optional) is the run's observability recorder; the node
+  /// exposes it to its protocol agents via NodeEnv::obs() and emits MAC
+  /// overhear plus admission verdict events itself.
   Node(NodeId id, const ExperimentConfig& config, sim::Simulator& simulator,
        phy::Medium& medium, const crypto::KeyManager& keys,
        pkt::PacketFactory& factory, stats::MetricsCollector* metrics,
-       Rng rng, bool malicious, attack::WormholeCoordinator* coordinator);
+       Rng rng, bool malicious, attack::WormholeCoordinator* coordinator,
+       obs::Recorder* recorder = nullptr);
 
   ~Node() override;
   Node(const Node&) = delete;
@@ -53,6 +57,7 @@ class Node final : public node::NodeEnv {
   Rng& rng() override { return rng_; }
   void send(pkt::Packet packet, mac::SendOptions options = {}) override;
   std::size_t mac_queue_depth() const override { return mac_.queue_depth(); }
+  obs::Recorder* obs() override { return recorder_; }
 
   bool malicious() const { return malicious_agent_ != nullptr; }
   phy::Radio& radio() { return radio_; }
@@ -81,6 +86,7 @@ class Node final : public node::NodeEnv {
   const crypto::KeyManager& keys_;
   pkt::PacketFactory& factory_;
   Rng rng_;
+  obs::Recorder* recorder_;
 
   phy::Radio radio_;
   mac::CsmaMac mac_;

@@ -41,6 +41,9 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.attack_start = network.config().attack.start_time;
   r.drop_times = m.drop_times;
   r.wormhole_route_times = m.wormhole_route_times;
+  r.trace_jsonl = network.trace_jsonl();
+  r.registry = network.registry_snapshot();
+  r.profile = network.profile();
   return r;
 }
 

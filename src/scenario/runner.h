@@ -55,6 +55,15 @@ struct RunResult {
   /// Times of each wormhole route establishment.
   std::vector<Time> wormhole_route_times;
 
+  // ---- Observability outputs (populated per config.obs) ----
+  /// The run's JSONL event trace; empty unless obs.trace. Buffered here so
+  /// sweeps can write traces in spec order at any thread count.
+  std::string trace_jsonl;
+  /// Event-counter snapshot; empty unless obs.counters.
+  obs::RegistrySnapshot registry;
+  /// Profiling report; enabled mirrors obs.profile.
+  obs::ProfileReport profile;
+
   double fraction_dropped() const {
     return data_originated == 0
                ? 0.0

@@ -109,6 +109,10 @@ SweepResult run_sweep(const SweepSpec& spec) {
     out.replicas = std::move(replicas[p]);
     out.aggregate = Aggregate::reduce(out.replicas);
     for (double secs : durations[p]) out.cpu_seconds += secs;
+    for (const RunResult& r : out.replicas) {
+      out.counters.add_counters(r.registry);
+      out.profile.accumulate(r.profile);
+    }
   }
   result.threads_used = static_cast<int>(threads);
   result.wall_seconds = seconds_since(sweep_start);
@@ -266,12 +270,60 @@ void emit_replica(JsonOut& json, const RunResult& r) {
   json.close('}');
 }
 
+void emit_counters(JsonOut& json, const obs::RegistrySnapshot& counters) {
+  json.open('{');
+  for (const auto& [name, count] : counters.counters) {
+    json.key(name.c_str()).value(count);
+  }
+  json.close('}');
+}
+
+void emit_profile(JsonOut& json, const obs::ProfileTotals& profile,
+                  bool include_timing) {
+  // Deterministic fields first (always emitted); wall-clock fields only on
+  // request, so the default JSON stays thread-count invariant.
+  json.open('{');
+  json.key("runs").value(static_cast<std::uint64_t>(profile.runs));
+  json.key("events_executed").value(profile.events_executed);
+  json.key("max_queue_depth")
+      .value(static_cast<std::uint64_t>(profile.max_queue_depth));
+  json.key("virtual_seconds").value(profile.virtual_seconds);
+  json.key("events_per_virtual_second")
+      .value(profile.virtual_seconds > 0.0
+                 ? static_cast<double>(profile.events_executed) /
+                       profile.virtual_seconds
+                 : 0.0);
+  json.key("layer_events").open('{');
+  for (std::size_t i = 0; i < obs::kLayerCount; ++i) {
+    json.key(obs::to_string(static_cast<obs::Layer>(i)))
+        .value(profile.layers[i].events);
+  }
+  json.close('}');
+  if (include_timing) {
+    json.key("timing").open('{');
+    json.key("wall_seconds").value(profile.wall_seconds);
+    json.key("events_per_wall_second")
+        .value(profile.wall_seconds > 0.0
+                   ? static_cast<double>(profile.events_executed) /
+                         profile.wall_seconds
+                   : 0.0);
+    json.key("layer_self_seconds").open('{');
+    for (std::size_t i = 0; i < obs::kLayerCount; ++i) {
+      json.key(obs::to_string(static_cast<obs::Layer>(i)))
+          .value(profile.layers[i].self_seconds);
+    }
+    json.close('}');
+    json.close('}');
+  }
+  json.close('}');
+}
+
 }  // namespace
 
-std::string to_json(const SweepResult& result) {
-  // Timing fields (wall_seconds, cpu_seconds, threads_used) are deliberately
-  // NOT emitted: the JSON is byte-identical across --threads values, so
-  // outputs can be diffed to verify determinism.
+std::string to_json(const SweepResult& result, bool include_timing) {
+  // Timing fields (wall_seconds, cpu_seconds, threads_used) are emitted
+  // only under `include_timing`: the default JSON is byte-identical across
+  // --threads values, so outputs can be diffed to verify determinism.
   JsonOut json;
   json.open('{');
   json.key("points").open('[');
@@ -280,12 +332,32 @@ std::string to_json(const SweepResult& result) {
     json.key("label").value(point.label);
     json.key("aggregate");
     emit_aggregate(json, point.aggregate);
+    if (!point.counters.empty()) {
+      json.key("counters");
+      emit_counters(json, point.counters);
+    }
+    if (point.profile.enabled) {
+      json.key("profile");
+      emit_profile(json, point.profile, include_timing);
+    }
     json.key("replicas").open('[');
     for (const RunResult& r : point.replicas) emit_replica(json, r);
     json.close(']');
     json.close('}');
   }
   json.close(']');
+  if (include_timing) {
+    json.key("sweep_timing").open('{');
+    json.key("wall_seconds").value(result.wall_seconds);
+    json.key("threads_used")
+        .value(static_cast<std::uint64_t>(result.threads_used));
+    double cpu = 0.0;
+    for (const SweepPointResult& point : result.points) {
+      cpu += point.cpu_seconds;
+    }
+    json.key("cpu_seconds").value(cpu);
+    json.close('}');
+  }
   json.close('}');
   return json.str();
 }

@@ -52,6 +52,10 @@ struct SweepPointResult {
   std::vector<RunResult> replicas;
   /// Summed replica run times: the serial cost of this point.
   double cpu_seconds = 0.0;
+  /// Summed replica event counters (empty unless base.obs.counters).
+  obs::RegistrySnapshot counters;
+  /// Summed replica profiles (enabled mirrors base.obs.profile).
+  obs::ProfileTotals profile;
 };
 
 struct SweepResult {
@@ -66,9 +70,12 @@ struct SweepResult {
 /// std::invalid_argument from the calling thread.
 SweepResult run_sweep(const SweepSpec& spec);
 
-/// Machine-readable dump: point labels, Aggregates, per-replica counters.
-/// Timing fields are omitted so the output is byte-identical across
-/// thread counts (diff two runs to check determinism).
-std::string to_json(const SweepResult& result);
+/// Machine-readable dump: point labels, Aggregates, per-replica counters,
+/// and (when enabled) per-point event counters and profiler totals.
+/// Timing fields (wall/self seconds, threads) are emitted only with
+/// `include_timing`, so the default output is byte-identical across
+/// thread counts (diff two runs to check determinism); deterministic
+/// profile fields (event counts, queue depth) are always included.
+std::string to_json(const SweepResult& result, bool include_timing = false);
 
 }  // namespace lw::scenario

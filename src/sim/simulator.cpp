@@ -9,6 +9,7 @@ namespace lw::sim {
 void Simulator::push(Time when, std::function<void()> action,
                      std::shared_ptr<bool> cancelled) {
   queue_.push(Event{when, next_seq_++, std::move(action), std::move(cancelled)});
+  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
 }
 
 void Simulator::schedule(Duration delay, std::function<void()> action) {

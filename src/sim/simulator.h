@@ -66,6 +66,10 @@ class Simulator {
   /// Number of events currently queued (including cancelled ones).
   std::size_t pending() const { return queue_.size(); }
 
+  /// High-water mark of pending(): the queue-depth figure the run
+  /// profiler reports.
+  std::size_t max_pending() const { return max_pending_; }
+
   /// Total events executed so far.
   std::uint64_t executed() const { return executed_; }
 
@@ -90,6 +94,7 @@ class Simulator {
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace lw::sim

@@ -29,7 +29,8 @@ Logger& Logger::instance() {
 
 void Logger::write(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(write_mutex_);
-  std::ostream& out = sink_ ? *sink_ : std::clog;
+  std::ostream* sink = sink_.load(std::memory_order_acquire);
+  std::ostream& out = sink ? *sink : std::clog;
   out << '[' << to_string(level) << "] " << message << '\n';
 }
 

@@ -2,11 +2,14 @@
 //
 // Each simulator is single-threaded, but the sweep engine runs several of
 // them concurrently, so emitted lines are serialized under a mutex (whole
-// lines only — LogLine accumulates before writing). Configuration
-// (set_level/set_sink) is expected before worker threads start. The level
-// filter is a cheap integer compare when the message is suppressed.
+// lines only — LogLine accumulates before writing), and the level/sink
+// configuration is atomic: a set_level or set_sink racing with worker
+// threads is a benign reconfiguration, not undefined behavior. The level
+// filter is a relaxed load plus integer compare when the message is
+// suppressed.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -30,19 +33,25 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Redirect output (default std::clog). The stream must outlive use.
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  void set_sink(std::ostream* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
 
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::ostream* sink_ = nullptr;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::atomic<std::ostream*> sink_{nullptr};
   std::mutex write_mutex_;
 };
 

@@ -200,19 +200,26 @@ TEST_F(MediumTest, PerTypeAccounting) {
             0.0);
 }
 
-class RecordingTrace final : public TraceSink {
+class RecordingTrace final : public obs::EventSink {
  public:
   int tx = 0, rx = 0, coll = 0, loss = 0;
-  void on_transmit(Time, const pkt::Packet&, NodeId) override { ++tx; }
-  void on_deliver(Time, const pkt::Packet&, NodeId) override { ++rx; }
-  void on_collision(Time, const pkt::Packet&, NodeId) override { ++coll; }
-  void on_random_loss(Time, const pkt::Packet&, NodeId) override { ++loss; }
+  void on_event(const obs::Event& event) override {
+    switch (event.kind) {
+      case obs::EventKind::kPhyTx: ++tx; break;
+      case obs::EventKind::kPhyRx: ++rx; break;
+      case obs::EventKind::kPhyCollision: ++coll; break;
+      case obs::EventKind::kPhyLoss: ++loss; break;
+      default: break;
+    }
+  }
 };
 
-TEST_F(MediumTest, TraceObservesAllOutcomes) {
+TEST_F(MediumTest, RecorderObservesAllOutcomes) {
   build(PhyParams{});
+  obs::Recorder recorder;
   RecordingTrace trace;
-  medium_->set_trace(&trace);
+  recorder.add_sink(&trace, obs::layer_bit(obs::Layer::kPhy));
+  medium_->set_recorder(&recorder);
   medium_->transmit(0, make_packet());  // delivered at 1
   sim_.run_all();
   medium_->transmit(0, make_packet());  // these two collide at 1
@@ -227,8 +234,10 @@ TEST_F(MediumTest, TraceObservesAllOutcomes) {
 TEST_F(MediumTest, TextTraceFormatsLines) {
   build(PhyParams{});
   std::ostringstream out;
+  obs::Recorder recorder;
   TextTrace trace(out);
-  medium_->set_trace(&trace);
+  recorder.add_sink(&trace, obs::layer_bit(obs::Layer::kPhy));
+  medium_->set_recorder(&recorder);
   medium_->transmit(1, make_packet(pkt::PacketType::kRouteRequest));
   sim_.run_all();
   const std::string text = out.str();

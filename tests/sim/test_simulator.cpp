@@ -138,6 +138,43 @@ TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
 }
 
+TEST(Simulator, PendingCountsCancelledEventsUntilPopped) {
+  // Cancellation is lazy: the event stays queued (and counted by
+  // pending()) until the run loop pops and skips it.
+  Simulator sim;
+  auto handle = sim.schedule_cancellable(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  handle.cancel();
+  EXPECT_EQ(sim.pending(), 2u) << "lazy cancellation keeps the slot";
+  sim.run_until(1.5);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.executed(), 0u) << "the cancelled event did not run";
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulator, MaxPendingTracksTheHighWaterMark) {
+  Simulator sim;
+  EXPECT_EQ(sim.max_pending(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(static_cast<double>(i + 1), [] {});
+  }
+  EXPECT_EQ(sim.max_pending(), 5u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.max_pending(), 5u) << "high-water mark survives the drain";
+  // Scheduling from inside a handler can push the mark higher.
+  sim.schedule(10.0, [&] {
+    for (int i = 0; i < 7; ++i) {
+      sim.schedule(1.0, [] {});
+    }
+  });
+  sim.run_all();
+  EXPECT_EQ(sim.max_pending(), 7u);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   Time last = -1.0;

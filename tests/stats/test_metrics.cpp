@@ -117,6 +117,39 @@ TEST_F(MetricsTest, LatencyOnEmptyRunIsZero) {
   EXPECT_DOUBLE_EQ(metrics_.latency_percentile(95.0), 0.0);
 }
 
+TEST_F(MetricsTest, ExtremePercentilesOnEmptyRunAreZero) {
+  EXPECT_DOUBLE_EQ(metrics_.latency_percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics_.latency_percentile(100.0), 0.0);
+}
+
+TEST_F(MetricsTest, SingleSampleIsEveryPercentile) {
+  sim_.schedule(12.5, [this] {
+    pkt::Packet p;
+    p.created_at = 10.0;
+    metrics_.on_data_delivered(4, p);
+  });
+  sim_.run_all();
+  ASSERT_EQ(metrics_.delivery_latencies.size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics_.mean_delivery_latency(), 2.5);
+  EXPECT_DOUBLE_EQ(metrics_.latency_percentile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(metrics_.latency_percentile(50.0), 2.5);
+  EXPECT_DOUBLE_EQ(metrics_.latency_percentile(100.0), 2.5);
+}
+
+TEST_F(MetricsTest, PercentileInterpolatesBetweenSamples) {
+  for (double latency : {1.0, 2.0, 3.0, 4.0}) {
+    sim_.schedule(10.0 + latency, [this] {
+      pkt::Packet p;
+      p.created_at = 10.0;
+      metrics_.on_data_delivered(4, p);
+    });
+  }
+  sim_.run_all();
+  // rank = 0.25 * 3 = 0.75: three quarters of the way from 1.0 to 2.0.
+  EXPECT_NEAR(metrics_.latency_percentile(25.0), 1.75, 1e-12);
+  EXPECT_NEAR(metrics_.latency_percentile(95.0), 3.85, 1e-12);
+}
+
 TEST(MetricsCumulative, CumulativeAtCountsSortedTimes) {
   std::vector<Time> times{1.0, 2.0, 2.0, 5.0};
   EXPECT_EQ(MetricsCollector::cumulative_at(times, 0.5), 0u);
