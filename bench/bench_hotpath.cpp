@@ -1,0 +1,240 @@
+// Hot-path macrobenchmark: whole-stack frames/sec at small, medium, and
+// large N, with and without collisions — the perf trajectory anchor.
+//
+//   ./bench_hotpath [--runs=1] [--seed=1] [--nodes=50,200,500]
+//                   [--duration=120] [--json] [--check=BENCH_baseline.json]
+//
+// Each case runs the full simulator (discovery, routing, LITEWORP monitor,
+// two colluding attackers) and reports wall-clock throughput next to the
+// deterministic work counters (frames transmitted/delivered, simulator
+// events executed, queue high-water mark). The deterministic counters are
+// recorded in BENCH_baseline.json at the repo root; --check=FILE re-runs
+// the cases and fails if any counter drifts from the recorded value — a
+// correctness guard for hot-path rewrites, not a wall-clock gate
+// (wall-clock fields are informational and machine-dependent).
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "scenario/runner.h"
+#include "util/config.h"
+
+namespace {
+
+struct Case {
+  std::string name;
+  std::size_t nodes = 0;
+  bool collisions = true;
+};
+
+struct CaseResult {
+  Case spec;
+  int runs = 0;
+  // Deterministic per (seed, runs): must match the checked-in baseline.
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t events_executed = 0;
+  std::size_t max_queue_depth = 0;
+  // Wall-clock (machine-dependent, informational).
+  double wall_seconds = 0.0;
+  lw::obs::ProfileTotals profile;
+
+  double frames_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(frames_transmitted) / wall_seconds
+               : 0.0;
+  }
+  double events_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(events_executed) / wall_seconds
+               : 0.0;
+  }
+};
+
+std::vector<std::size_t> parse_nodes_list(const std::string& csv) {
+  std::vector<std::size_t> nodes;
+  std::stringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    nodes.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  return nodes;
+}
+
+CaseResult run_case(const Case& spec, int runs, std::uint64_t base_seed,
+                    double duration) {
+  CaseResult result;
+  result.spec = spec;
+  result.runs = runs;
+  for (int r = 0; r < runs; ++r) {
+    auto config = lw::scenario::ExperimentConfig::table2_defaults();
+    config.node_count = spec.nodes;
+    config.duration = duration;
+    config.malicious_count = 2;
+    config.seed = base_seed + static_cast<std::uint64_t>(r);
+    config.phy.collisions_enabled = spec.collisions;
+    config.obs.profile = true;  // events_executed / max_pending counters
+    const auto start = std::chrono::steady_clock::now();
+    const lw::scenario::RunResult run = lw::scenario::run_experiment(config);
+    result.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.frames_transmitted += run.frames_transmitted;
+    result.frames_delivered += run.frames_delivered;
+    result.events_executed += run.profile.events_executed;
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, run.profile.max_queue_depth);
+    result.profile.accumulate(run.profile);
+  }
+  return result;
+}
+
+/// Extracts "<key>":<integer> from the baseline object that contains
+/// "case":"<name>". Returns -1 when the case or key is missing.
+long long baseline_value(const std::string& text, const std::string& name,
+                         const std::string& key) {
+  const std::string anchor = "\"case\":\"" + name + "\"";
+  const std::size_t at = text.find(anchor);
+  if (at == std::string::npos) return -1;
+  const std::size_t end = text.find('}', at);
+  const std::size_t field = text.find("\"" + key + "\":", at);
+  if (field == std::string::npos || field > end) return -1;
+  return std::atoll(text.c_str() + field + key.size() + 3);
+}
+
+/// Compares the deterministic counters of `results` against the recorded
+/// baseline; returns the number of drifted fields (0 = pass).
+int check_against_baseline(const std::string& path,
+                           const std::vector<CaseResult>& results) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Normalize away whitespace so both compact and pretty-printed baselines
+  // parse (keys and case names never contain whitespace).
+  std::string text = buffer.str();
+  std::erase_if(text, [](unsigned char c) { return std::isspace(c) != 0; });
+
+  int drift = 0;
+  const auto expect = [&](const std::string& name, const std::string& key,
+                          long long got) {
+    const long long want = baseline_value(text, name, key);
+    if (want < 0) {
+      std::fprintf(stderr, "baseline missing %s.%s\n", name.c_str(),
+                   key.c_str());
+      ++drift;
+    } else if (want != got) {
+      std::fprintf(stderr, "DRIFT %s.%s: baseline %lld, run %lld\n",
+                   name.c_str(), key.c_str(), want, got);
+      ++drift;
+    }
+  };
+  for (const CaseResult& r : results) {
+    expect(r.spec.name, "frames_transmitted",
+           static_cast<long long>(r.frames_transmitted));
+    expect(r.spec.name, "frames_delivered",
+           static_cast<long long>(r.frames_delivered));
+    expect(r.spec.name, "events_executed",
+           static_cast<long long>(r.events_executed));
+  }
+  if (drift == 0) {
+    std::fprintf(stderr, "baseline check passed: %zu cases, no drift\n",
+                 results.size());
+  }
+  return drift;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lw::Config args = lw::Config::from_args(argc, argv);
+  const bench::Common common = bench::parse_common(args, 1, 1);
+  const double duration = args.get_double("duration", 120.0);
+  const std::string nodes_csv = args.get_string("nodes", "50,200,500");
+  const std::string check_file = args.get_string("check", "");
+  const bool show_profile = args.get_bool("profile", false);
+  if (int status = bench::finish(args)) return status;
+  if (common.runs < 1) {
+    std::fprintf(stderr, "runs must be positive\n");
+    return 1;
+  }
+
+  std::vector<Case> cases;
+  for (std::size_t n : parse_nodes_list(nodes_csv)) {
+    cases.push_back({"n" + std::to_string(n) + "_collisions", n, true});
+    cases.push_back({"n" + std::to_string(n) + "_ideal", n, false});
+  }
+
+  std::vector<CaseResult> results;
+  for (const Case& c : cases) {
+    if (!common.quiet) {
+      std::fprintf(stderr, "running %s...\n", c.name.c_str());
+    }
+    results.push_back(run_case(c, common.runs, common.seed, duration));
+    if (show_profile) {
+      const CaseResult& r = results.back();
+      std::fprintf(stderr, "%s per layer:", c.name.c_str());
+      for (std::size_t i = 0; i < lw::obs::kLayerCount; ++i) {
+        std::fprintf(stderr, " %s=%.2fs",
+                     lw::obs::to_string(static_cast<lw::obs::Layer>(i)),
+                     r.profile.layers[i].self_seconds);
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+
+  if (!check_file.empty()) {
+    return check_against_baseline(check_file, results) == 0 ? 0 : 1;
+  }
+
+  if (common.json) {
+    bench::JsonRows rows;
+    for (const CaseResult& r : results) {
+      rows.field("case", r.spec.name)
+          .field("nodes", static_cast<double>(r.spec.nodes))
+          .field("collisions", r.spec.collisions ? 1.0 : 0.0)
+          .field("runs", static_cast<double>(r.runs))
+          .field("duration", duration)
+          .field("seed", static_cast<double>(common.seed))
+          .field("frames_transmitted",
+                 static_cast<double>(r.frames_transmitted))
+          .field("frames_delivered", static_cast<double>(r.frames_delivered))
+          .field("events_executed", static_cast<double>(r.events_executed))
+          .field("max_queue_depth", static_cast<double>(r.max_queue_depth))
+          .field("wall_seconds", r.wall_seconds)
+          .field("frames_per_second", r.frames_per_second())
+          .field("events_per_second", r.events_per_second());
+      rows.end_row();
+    }
+    std::puts(rows.str().c_str());
+    return bench::finish(args);
+  }
+
+  std::puts("== Hot-path throughput (full stack, LITEWORP + 2 colluders) ==");
+  std::printf("%d run(s) per case, %.0f simulated seconds, base seed %llu\n\n",
+              common.runs, duration,
+              static_cast<unsigned long long>(common.seed));
+  std::printf("%-18s %10s %12s %12s %10s %12s %12s\n", "case", "frames",
+              "delivered", "events", "queue<=", "wall [s]", "frames/s");
+  for (const CaseResult& r : results) {
+    std::printf("%-18s %10llu %12llu %12llu %10zu %12.2f %12.0f\n",
+                r.spec.name.c_str(),
+                static_cast<unsigned long long>(r.frames_transmitted),
+                static_cast<unsigned long long>(r.frames_delivered),
+                static_cast<unsigned long long>(r.events_executed),
+                r.max_queue_depth, r.wall_seconds, r.frames_per_second());
+  }
+  std::puts("\ncounters (frames, delivered, events) are deterministic per\n"
+            "seed; wall-clock columns are machine-dependent. Compare against\n"
+            "the checked-in BENCH_baseline.json with --check=FILE.");
+  return bench::finish(args);
+}

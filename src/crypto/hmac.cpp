@@ -22,26 +22,58 @@ std::array<std::uint8_t, kBlockSize> normalize_key(
 
 }  // namespace
 
-Digest hmac_sha256(std::span<const std::uint8_t> key,
-                   std::span<const std::uint8_t> message) {
+HmacKey::HmacKey(std::span<const std::uint8_t> key) {
   auto block = normalize_key(key);
 
-  std::array<std::uint8_t, kBlockSize> ipad;
-  std::array<std::uint8_t, kBlockSize> opad;
+  std::array<std::uint8_t, kBlockSize> pad;
+  Sha256 ctx;
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
   }
+  ctx.update(pad);
+  inner_ = ctx.save();
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  Digest inner_digest = inner.finalize();
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+  ctx.reset();
+  ctx.update(pad);
+  outer_ = ctx.save();
+}
 
-  Sha256 outer;
-  outer.update(opad);
-  outer.update(inner_digest);
-  return outer.finalize();
+Digest HmacKey::digest(std::span<const std::uint8_t> message) const {
+  Sha256 ctx;
+  ctx.restore(inner_);
+  ctx.update(message);
+  Digest inner_digest = ctx.finalize();
+
+  ctx.restore(outer_);
+  ctx.update(inner_digest);
+  return ctx.finalize();
+}
+
+Digest HmacKey::digest(std::string_view message) const {
+  return digest(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
+}
+
+AuthTag HmacKey::tag(std::string_view message) const {
+  Digest full = digest(message);
+  AuthTag out;
+  std::copy_n(full.begin(), out.size(), out.begin());
+  return out;
+}
+
+bool HmacKey::verify(std::string_view message, const AuthTag& tag) const {
+  AuthTag expected = this->tag(message);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < tag.size(); ++i) diff |= tag[i] ^ expected[i];
+  return diff == 0;
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  return HmacKey(key).digest(message);
 }
 
 Digest hmac_sha256(std::span<const std::uint8_t> key,

@@ -19,9 +19,18 @@ void append_u64(Key& out, std::uint64_t v) {
 
 }  // namespace
 
-KeyManager::KeyManager(std::uint64_t master_secret) {
-  append_u64(master_, master_secret);
+namespace {
+
+HmacKey make_master_state(std::uint64_t master_secret) {
+  Key master;
+  append_u64(master, master_secret);
+  return HmacKey(master);
 }
+
+}  // namespace
+
+KeyManager::KeyManager(std::uint64_t master_secret)
+    : master_state_(make_master_state(master_secret)) {}
 
 Key KeyManager::pairwise_key(NodeId a, NodeId b) const {
   NodeId lo = std::min(a, b);
@@ -29,18 +38,31 @@ Key KeyManager::pairwise_key(NodeId a, NodeId b) const {
   std::string label = "pairwise:";
   append_u32(label, lo);
   append_u32(label, hi);
-  Digest digest = hmac_sha256(master_, label);
+  Digest digest = master_state_.digest(label);
   return Key(digest.begin(), digest.end());
+}
+
+const HmacKey& KeyManager::pairwise_state(NodeId a, NodeId b) const {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint64_t>(hi);
+  auto it = pair_cache_.find(pair);
+  if (it == pair_cache_.end()) {
+    const Key key = pairwise_key(lo, hi);
+    it = pair_cache_.emplace(pair, HmacKey(key)).first;
+  }
+  return it->second;
 }
 
 AuthTag KeyManager::sign(NodeId self, NodeId peer,
                          std::string_view message) const {
-  return make_tag(pairwise_key(self, peer), message);
+  return pairwise_state(self, peer).tag(message);
 }
 
 bool KeyManager::verify(NodeId a, NodeId b, std::string_view message,
                         const AuthTag& tag) const {
-  return verify_tag(pairwise_key(a, b), message, tag);
+  return pairwise_state(a, b).verify(message, tag);
 }
 
 AuthTag forge_tag(std::uint64_t attacker_state) {

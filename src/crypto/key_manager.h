@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "crypto/hmac.h"
 #include "util/ids.h"
@@ -34,8 +35,15 @@ class KeyManager {
   bool verify(NodeId a, NodeId b, std::string_view message,
               const AuthTag& tag) const;
 
+  /// Prepared HMAC state for the key shared by {a, b}. Derived once per
+  /// unordered pair and cached; sign/verify reuse it so every tag costs
+  /// two SHA-256 finishes instead of a key derivation plus pad rehashing.
+  /// Safe without locking: each simulated deployment owns its KeyManager.
+  const HmacKey& pairwise_state(NodeId a, NodeId b) const;
+
  private:
-  Key master_;
+  HmacKey master_state_;
+  mutable std::unordered_map<std::uint64_t, HmacKey> pair_cache_;
 };
 
 /// An external attacker: has no valid keys, so every tag it forges is an

@@ -38,6 +38,19 @@ void Sha256::reset() {
   finalized_ = false;
 }
 
+Sha256State Sha256::save() const {
+  assert(buffer_len_ == 0 && "save() requires a block-aligned prefix");
+  assert(!finalized_ && "save() after finalize");
+  return Sha256State{state_, total_bytes_};
+}
+
+void Sha256::restore(const Sha256State& state) {
+  state_ = state.h;
+  total_bytes_ = state.bytes;
+  buffer_len_ = 0;
+  finalized_ = false;
+}
+
 void Sha256::update(std::span<const std::uint8_t> data) {
   assert(!finalized_ && "update after finalize; call reset() first");
   total_bytes_ += data.size();

@@ -18,6 +18,14 @@ namespace lw::crypto {
 /// 32-byte SHA-256 digest.
 using Digest = std::array<std::uint8_t, 32>;
 
+/// Compression state captured at a block boundary (Sha256::save). Lets a
+/// fixed prefix — e.g. the HMAC ipad/opad block — be absorbed once and
+/// replayed for every message instead of being rehashed each time.
+struct Sha256State {
+  std::array<std::uint32_t, 8> h;
+  std::uint64_t bytes;
+};
+
 /// Incremental SHA-256 context. Usage: update(...) any number of times,
 /// then finalize() exactly once.
 class Sha256 {
@@ -34,6 +42,13 @@ class Sha256 {
 
   /// Reinitializes for a new message.
   void reset();
+
+  /// Snapshots the compression state. Only valid at a block boundary
+  /// (total bytes absorbed must be a multiple of 64) before finalize().
+  Sha256State save() const;
+
+  /// Resumes hashing as if the saved prefix had just been absorbed.
+  void restore(const Sha256State& state);
 
   /// One-shot convenience.
   static Digest hash(std::span<const std::uint8_t> data);

@@ -14,7 +14,12 @@ LocalMonitor::LocalMonitor(node::NodeEnv& env, nbr::NeighborTable& table,
       table_(table),
       routing_(routing),
       params_(params),
-      observer_(observer) {}
+      observer_(observer) {
+  // The per-window dedupe set reaches thousands of (flow, forwarder)
+  // entries on busy guards; growing it through a dozen rehashes per
+  // monitor is pure waste. Bucket count does not affect semantics.
+  if (params_.enabled) suspected_.reserve(4096);
+}
 
 void LocalMonitor::start() {}
 
@@ -224,7 +229,8 @@ void LocalMonitor::send_alert(NodeId suspect) {
   alert.accused = suspect;
   alert.accusing_guard = env_.id();
   alert.ttl = static_cast<std::uint8_t>(params_.alert_ttl);
-  const std::string payload = alert.auth_payload();
+  alert.auth_payload_into(auth_buf_);
+  const std::string& payload = auth_buf_;
   if (recipients != nullptr) {
     for (NodeId recipient : *recipients) {
       if (recipient == env_.id() || recipient == suspect) continue;
@@ -260,8 +266,8 @@ void LocalMonitor::handle_alert(const pkt::Packet& packet) {
       packet.alert_auth.begin(), packet.alert_auth.end(),
       [this](const pkt::AlertAuth& a) { return a.recipient == env_.id(); });
   if (entry == packet.alert_auth.end()) return;
-  if (!env_.keys().verify(guard, env_.id(), packet.auth_payload(),
-                          entry->tag)) {
+  packet.auth_payload_into(auth_buf_);
+  if (!env_.keys().verify(guard, env_.id(), auth_buf_, entry->tag)) {
     LW_WARN << "node " << env_.id() << ": unauthentic alert claiming guard "
             << guard;
     return;

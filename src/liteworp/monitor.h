@@ -158,6 +158,8 @@ class LocalMonitor {
   nbr::NeighborTable& table_;
   routing::OnDemandRouting& routing_;
   LiteworpParams params_;
+  /// Reusable serialization buffer for alert auth payloads.
+  std::string auth_buf_;
   MonitorObserver* observer_;
 
   struct SuspectState {

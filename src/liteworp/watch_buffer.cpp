@@ -7,31 +7,45 @@ namespace lw::lite {
 void WatchBuffer::record_transmit(const FlowKey& flow, NodeId node, Time now,
                                   Duration ttl) {
   purge_transmits(now);
-  Time& expiry = transmits_[FlowNodeKey{flow, node}];
-  expiry = std::max(expiry, now + ttl);
-  Time& flow_expiry = flow_transmits_[flow];
-  flow_expiry = std::max(flow_expiry, now + ttl);
+  FlowRecord& rec = transmits_[flow];
+  const Time expiry = now + ttl;
+  bool found = false;
+  for (TransmitRecord& entry : rec.nodes) {
+    if (entry.node == node) {
+      entry.expiry = std::max(entry.expiry, expiry);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    rec.nodes.push_back({node, expiry});
+    ++transmit_pairs_;
+  }
+  rec.flow_expiry = std::max(rec.flow_expiry, expiry);
   note_size();
 }
 
 bool WatchBuffer::has_any_transmit(const FlowKey& flow, Time now) {
-  auto it = flow_transmits_.find(flow);
-  if (it == flow_transmits_.end()) return false;
-  if (it->second <= now) {
-    flow_transmits_.erase(it);
-    return false;
-  }
-  return true;
+  auto it = transmits_.find(flow);
+  if (it == transmits_.end()) return false;
+  return it->second.flow_expiry > now;
 }
 
 bool WatchBuffer::has_transmit(const FlowKey& flow, NodeId node, Time now) {
-  auto it = transmits_.find(FlowNodeKey{flow, node});
+  auto it = transmits_.find(flow);
   if (it == transmits_.end()) return false;
-  if (it->second <= now) {
-    transmits_.erase(it);
-    return false;
+  std::vector<TransmitRecord>& nodes = it->second.nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].node != node) continue;
+    if (nodes[i].expiry <= now) {
+      nodes[i] = nodes.back();
+      nodes.pop_back();
+      --transmit_pairs_;
+      return false;
+    }
+    return true;
   }
-  return true;
+  return false;
 }
 
 bool WatchBuffer::add_drop_watch(const FlowKey& flow, NodeId from, NodeId to,
@@ -75,16 +89,34 @@ std::size_t WatchBuffer::clear_drop_watches_to(NodeId to) {
 }
 
 void WatchBuffer::purge_transmits(Time now) {
-  // Amortized: full sweep every 64 insertions once the table is non-tiny.
-  if (++purge_tick_ % 64 != 0 || transmits_.size() < 128) return;
-  std::erase_if(transmits_,
-                [now](const auto& entry) { return entry.second <= now; });
-  std::erase_if(flow_transmits_,
-                [now](const auto& entry) { return entry.second <= now; });
+  // Amortized: full sweep every 256 insertions once the table is non-tiny.
+  // The cadence only bounds stale-entry memory (records are expiry-checked
+  // on every lookup), so it trades a few seconds of garbage for sweep cost.
+  if (++purge_tick_ % 256 != 0 || transmit_pairs_ < 128) return;
+  for (auto it = transmits_.begin(); it != transmits_.end();) {
+    std::vector<TransmitRecord>& nodes = it->second.nodes;
+    for (std::size_t i = 0; i < nodes.size();) {
+      if (nodes[i].expiry <= now) {
+        nodes[i] = nodes.back();
+        nodes.pop_back();
+        --transmit_pairs_;
+      } else {
+        ++i;
+      }
+    }
+    // flow_expiry is the max per-node expiry, so an expired flow has no
+    // surviving nodes; dropping the record then matches the old per-map
+    // erase exactly.
+    if (it->second.flow_expiry <= now && nodes.empty()) {
+      it = transmits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void WatchBuffer::note_size() {
-  peak_entries_ = std::max(peak_entries_, transmits_.size() + watches_.size());
+  peak_entries_ = std::max(peak_entries_, transmit_pairs_ + watches_.size());
 }
 
 }  // namespace lw::lite

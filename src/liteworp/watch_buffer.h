@@ -60,6 +60,11 @@ struct LinkWatchKeyHash {
 
 class WatchBuffer {
  public:
+  /// One transmitter of a flow, with its record's expiry.
+  struct TransmitRecord {
+    NodeId node = kInvalidNode;
+    Time expiry = 0.0;
+  };
   /// Remembers that `node` transmitted `flow`; lives until now + ttl.
   void record_transmit(const FlowKey& flow, NodeId node, Time now,
                        Duration ttl);
@@ -90,13 +95,13 @@ class WatchBuffer {
   /// silent dropper). Returns the number cleared.
   std::size_t clear_drop_watches_to(NodeId to);
 
-  std::size_t transmit_records() const { return transmits_.size(); }
+  std::size_t transmit_records() const { return transmit_pairs_; }
   std::size_t drop_watches() const { return watches_.size(); }
   std::size_t peak_entries() const { return peak_entries_; }
 
   /// Paper cost model: 20 bytes per watch-buffer entry.
   std::size_t storage_bytes() const {
-    return 20 * (transmits_.size() + watches_.size());
+    return 20 * (transmit_pairs_ + watches_.size());
   }
 
  private:
@@ -105,13 +110,23 @@ class WatchBuffer {
     sim::EventHandle expiry;
   };
 
+  /// All transmit records of one flow, grouped so that record/lookup cost
+  /// one hash probe instead of one per (flow, node) composite. The node
+  /// list is tiny (the handful of neighbors that forwarded this flood), so
+  /// a linear scan beats a second hash table.
+  struct FlowRecord {
+    /// max over all recorded expiries — backs has_any_transmit.
+    Time flow_expiry = 0.0;
+    std::vector<TransmitRecord> nodes;
+  };
+
   void purge_transmits(Time now);
   void note_size();
 
-  std::unordered_map<FlowNodeKey, Time, FlowNodeKeyHash> transmits_;
-  /// Latest transmit-record expiry per flow (any transmitter).
-  std::unordered_map<FlowKey, Time> flow_transmits_;
+  std::unordered_map<FlowKey, FlowRecord> transmits_;
   std::unordered_map<LinkWatchKey, DropWatch, LinkWatchKeyHash> watches_;
+  /// Live (flow, node) pair count — the paper's per-entry storage unit.
+  std::size_t transmit_pairs_ = 0;
   std::size_t peak_entries_ = 0;
   std::size_t purge_tick_ = 0;
 };

@@ -41,12 +41,17 @@ void DiscoveryAgent::send_hello() {
   env_.send(std::move(hello));
 }
 
-std::string DiscoveryAgent::reply_auth_message(NodeId replier,
-                                               NodeId announcer,
-                                               SeqNo hello_seq) const {
-  std::ostringstream out;
-  out << "hello-reply|" << replier << '|' << announcer << '|' << hello_seq;
-  return out.str();
+const std::string& DiscoveryAgent::reply_auth_message(NodeId replier,
+                                                      NodeId announcer,
+                                                      SeqNo hello_seq) {
+  auth_buf_.clear();
+  auth_buf_ += "hello-reply|";
+  auth_buf_ += std::to_string(replier);
+  auth_buf_ += '|';
+  auth_buf_ += std::to_string(announcer);
+  auth_buf_ += '|';
+  auth_buf_ += std::to_string(hello_seq);
+  return auth_buf_;
 }
 
 void DiscoveryAgent::send_reply(const pkt::Packet& hello) {
@@ -77,7 +82,8 @@ void DiscoveryAgent::broadcast_list() {
   list.origin = env_.id();
   list.seq = 1;
   list.neighbor_list = table_.neighbors();
-  const std::string payload = list.auth_payload();
+  list.auth_payload_into(auth_buf_);
+  const std::string& payload = auth_buf_;
   list.alert_auth.reserve(list.neighbor_list.size());
   for (NodeId member : list.neighbor_list) {
     list.alert_auth.push_back(
@@ -121,7 +127,7 @@ void DiscoveryAgent::handle_reply(const pkt::Packet& packet) {
   if (packet.final_dst != env_.id()) return;
   if (!hello_sent_ || env_.now() > hello_time_ + params_.reply_timeout) return;
   if (packet.seq != hello_seq_) return;
-  const std::string message =
+  const std::string& message =
       reply_auth_message(packet.origin, env_.id(), packet.seq);
   if (!env_.keys().verify(packet.origin, env_.id(), message, packet.tag)) {
     ++rejected_replies_;
@@ -134,7 +140,8 @@ void DiscoveryAgent::handle_reply(const pkt::Packet& packet) {
 
 void DiscoveryAgent::handle_list(const pkt::Packet& packet) {
   if (packet.origin == env_.id()) return;
-  const std::string payload = packet.auth_payload();
+  packet.auth_payload_into(auth_buf_);
+  const std::string& payload = auth_buf_;
   for (const pkt::AlertAuth& entry : packet.alert_auth) {
     if (entry.recipient != env_.id()) continue;
     if (env_.keys().verify(packet.origin, env_.id(), payload, entry.tag)) {

@@ -78,10 +78,13 @@ class DiscoveryAgent {
   void handle_reply(const pkt::Packet& packet);
   void handle_list(const pkt::Packet& packet);
 
-  std::string reply_auth_message(NodeId replier, NodeId announcer,
-                                 SeqNo hello_seq) const;
+  const std::string& reply_auth_message(NodeId replier, NodeId announcer,
+                                        SeqNo hello_seq);
 
   node::NodeEnv& env_;
+  /// Reusable serialization buffer for auth payloads (sign/verify are
+  /// per-packet hot spots; keep the capacity across calls).
+  std::string auth_buf_;
   NeighborTable& table_;
   DiscoveryParams params_;
   bool hello_sent_ = false;

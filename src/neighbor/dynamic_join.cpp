@@ -150,7 +150,8 @@ void DynamicJoinAgent::share_list(NodeId unicast_to) {
   list.seq = 1000 + ++seq_;  // distinct from the deployment-time broadcast
   list.link_dst = unicast_to;
   list.neighbor_list = table_.neighbors();
-  const std::string payload = list.auth_payload();
+  list.auth_payload_into(auth_buf_);
+  const std::string& payload = auth_buf_;
   for (NodeId member : list.neighbor_list) {
     list.alert_auth.push_back(
         {member, env_.keys().sign(env_.id(), member, payload)});

@@ -73,6 +73,8 @@ class DynamicJoinAgent {
 
   node::NodeEnv& env_;
   NeighborTable& table_;
+  /// Reusable serialization buffer for list auth payloads.
+  std::string auth_buf_;
   JoinParams params_;
   bool joining_ = false;
   SeqNo seq_ = 0;

@@ -4,21 +4,24 @@
 
 namespace lw::nbr {
 
+void NeighborTable::set(std::vector<std::uint8_t>& flags, NodeId id) {
+  if (id == kInvalidNode) return;  // sentinel, never a table member
+  if (id >= flags.size()) flags.resize(id + 1, 0);
+  flags[id] = 1;
+}
+
 void NeighborTable::add_neighbor(NodeId id) {
-  if (neighbors_.insert(id).second) order_.push_back(id);
-}
-
-bool NeighborTable::knows_neighbor(NodeId id) const {
-  return neighbors_.count(id) != 0;
-}
-
-bool NeighborTable::is_active_neighbor(NodeId id) const {
-  return knows_neighbor(id) && !is_revoked(id);
+  if (knows_neighbor(id)) return;
+  set(neighbor_flags_, id);
+  order_.push_back(id);
 }
 
 void NeighborTable::set_neighbor_list(NodeId owner, std::vector<NodeId> list) {
   if (!knows_neighbor(owner)) return;
-  list_sets_[owner] = std::unordered_set<NodeId>(list.begin(), list.end());
+  if (owner >= list_flags_.size()) list_flags_.resize(owner + 1);
+  std::vector<std::uint8_t> flags;
+  for (NodeId member : list) set(flags, member);
+  list_flags_[owner] = std::move(flags);
   lists_[owner] = std::move(list);
 }
 
@@ -31,25 +34,17 @@ const std::vector<NodeId>* NeighborTable::list_of(NodeId owner) const {
   return it == lists_.end() ? nullptr : &it->second;
 }
 
-bool NeighborTable::in_list_of(NodeId owner, NodeId candidate) const {
-  auto it = list_sets_.find(owner);
-  return it != list_sets_.end() && it->second.count(candidate) != 0;
-}
-
 bool NeighborTable::is_within_two_hops(NodeId id) const {
   if (knows_neighbor(id)) return true;
-  return std::any_of(list_sets_.begin(), list_sets_.end(),
-                     [id](const auto& entry) {
-                       return entry.second.count(id) != 0;
-                     });
+  return std::any_of(
+      list_flags_.begin(), list_flags_.end(),
+      [id](const std::vector<std::uint8_t>& flags) { return test(flags, id); });
 }
 
 void NeighborTable::revoke(NodeId id) {
-  if (knows_neighbor(id)) revoked_.insert(id);
-}
-
-bool NeighborTable::is_revoked(NodeId id) const {
-  return revoked_.count(id) != 0;
+  if (!knows_neighbor(id) || is_revoked(id)) return;
+  set(revoked_flags_, id);
+  ++revoked_count_;
 }
 
 std::vector<NodeId> NeighborTable::active_neighbors() const {

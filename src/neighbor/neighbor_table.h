@@ -5,11 +5,15 @@
 // second-hop knowledge LITEWORP's checks and guard predicate rely on.
 // Revocation marks a neighbor as isolated: it stays in the table (so alerts
 // about it still verify) but fails every admission check.
+//
+// NodeIds are dense small integers, so membership questions — asked once
+// per overheard frame per guard, the hottest predicate in the simulator —
+// are answered from byte-flag vectors indexed by id instead of hash sets.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/ids.h"
@@ -22,10 +26,12 @@ class NeighborTable {
   void add_neighbor(NodeId id);
 
   /// True if `id` is a known first-hop neighbor, revoked or not.
-  bool knows_neighbor(NodeId id) const;
+  bool knows_neighbor(NodeId id) const { return test(neighbor_flags_, id); }
 
   /// True if `id` is a first-hop neighbor in good standing.
-  bool is_active_neighbor(NodeId id) const;
+  bool is_active_neighbor(NodeId id) const {
+    return test(neighbor_flags_, id) && !test(revoked_flags_, id);
+  }
 
   /// Stores the authenticated neighbor list R_owner of a first-hop
   /// neighbor. Silently ignored when `owner` is unknown (a list from a
@@ -39,7 +45,9 @@ class NeighborTable {
 
   /// True if `candidate` appears in the stored list R_owner — i.e. the
   /// claim "owner received this from candidate" is topologically plausible.
-  bool in_list_of(NodeId owner, NodeId candidate) const;
+  bool in_list_of(NodeId owner, NodeId candidate) const {
+    return owner < list_flags_.size() && test(list_flags_[owner], candidate);
+  }
 
   /// True if `id` appears in any stored neighbor list: a second-hop (or
   /// first-hop) node of ours.
@@ -47,7 +55,7 @@ class NeighborTable {
 
   /// Marks a neighbor as isolated. Idempotent.
   void revoke(NodeId id);
-  bool is_revoked(NodeId id) const;
+  bool is_revoked(NodeId id) const { return test(revoked_flags_, id); }
 
   /// All first-hop neighbors (including revoked); insertion order.
   const std::vector<NodeId>& neighbors() const { return order_; }
@@ -56,18 +64,27 @@ class NeighborTable {
   std::vector<NodeId> active_neighbors() const;
 
   std::size_t neighbor_count() const { return order_.size(); }
-  std::size_t revoked_count() const { return revoked_.size(); }
+  std::size_t revoked_count() const { return revoked_count_; }
 
   /// Storage footprint per the paper's cost model: 5 bytes per first-hop
   /// entry (4 id + 1 MalC) plus 4 bytes per stored second-hop list entry.
   std::size_t storage_bytes() const;
 
  private:
+  static bool test(const std::vector<std::uint8_t>& flags, NodeId id) {
+    return id < flags.size() && flags[id] != 0;
+  }
+  /// Sets flags[id], growing the vector on demand (ids are dense, so the
+  /// vector tops out at the network size).
+  static void set(std::vector<std::uint8_t>& flags, NodeId id);
+
   std::vector<NodeId> order_;
-  std::unordered_set<NodeId> neighbors_;
-  std::unordered_set<NodeId> revoked_;
+  std::vector<std::uint8_t> neighbor_flags_;
+  std::vector<std::uint8_t> revoked_flags_;
+  std::size_t revoked_count_ = 0;
   std::unordered_map<NodeId, std::vector<NodeId>> lists_;
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> list_sets_;
+  /// list_flags_[owner][candidate] mirrors lists_[owner] for O(1) checks.
+  std::vector<std::vector<std::uint8_t>> list_flags_;
 };
 
 }  // namespace lw::nbr

@@ -1,5 +1,6 @@
 #include "packet/packet.h"
 
+#include <charconv>
 #include <sstream>
 
 namespace lw::pkt {
@@ -68,21 +69,51 @@ std::uint32_t Packet::wire_size() const {
   return size;
 }
 
+namespace {
+
+/// Decimal append without the ostream machinery (same bytes as
+/// operator<< for these unsigned fields).
+template <typename Int>
+void append_decimal(std::string& out, Int value) {
+  char buf[20];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out.append(buf, end);
+}
+
+}  // namespace
+
 std::string Packet::auth_payload() const {
-  std::ostringstream out;
-  out << static_cast<int>(type) << '|' << origin << '|' << seq << '|'
-      << final_dst;
+  std::string out;
+  auth_payload_into(out);
+  return out;
+}
+
+void Packet::auth_payload_into(std::string& out) const {
+  out.clear();
+  append_decimal(out, static_cast<int>(type));
+  out.push_back('|');
+  append_decimal(out, origin);
+  out.push_back('|');
+  append_decimal(out, seq);
+  out.push_back('|');
+  append_decimal(out, final_dst);
   switch (type) {
     case PacketType::kNeighborList:
-      for (NodeId id : neighbor_list) out << ',' << id;
+      for (NodeId id : neighbor_list) {
+        out.push_back(',');
+        append_decimal(out, id);
+      }
       break;
     case PacketType::kAlert:
-      out << "|accused=" << accused << "|guard=" << accusing_guard;
+      out.append("|accused=");
+      append_decimal(out, accused);
+      out.append("|guard=");
+      append_decimal(out, accusing_guard);
       break;
     default:
       break;
   }
-  return out.str();
 }
 
 std::string Packet::describe() const {

@@ -152,6 +152,11 @@ struct Packet {
   /// fields.
   std::string auth_payload() const;
 
+  /// Serializes the auth payload into `out` (cleared first). Agents that
+  /// sign or verify per packet keep one buffer and reuse its capacity
+  /// instead of building a fresh string each time.
+  void auth_payload_into(std::string& out) const;
+
   /// Human-readable one-liner for traces.
   std::string describe() const;
 };
@@ -166,9 +171,15 @@ class PacketFactory {
     return p;
   }
 
-  /// Forwarded copy: same end-to-end identity, fresh uid.
+  /// Forwarded copy: same end-to-end identity, fresh uid. The route gets
+  /// one slot of slack so the forwarder's own append (every REQ hop does
+  /// one) lands in place instead of reallocating.
   Packet forward_copy(const Packet& original) {
-    Packet p = original;
+    Packet p;
+    p.route.reserve(original.route.size() + 1);
+    p.neighbor_list.reserve(original.neighbor_list.size());
+    p.alert_auth.reserve(original.alert_auth.size());
+    p = original;
     p.uid = ++last_uid_;
     return p;
   }

@@ -19,6 +19,10 @@ Medium::Medium(sim::Simulator& simulator, const topo::DiscGraph& graph,
 
 void Medium::set_rx_range_multiplier(NodeId node, double multiplier) {
   rx_range_multiplier_.at(node) = multiplier;
+  max_rx_multiplier_ = 1.0;
+  for (double m : rx_range_multiplier_) {
+    max_rx_multiplier_ = std::max(max_rx_multiplier_, m);
+  }
 }
 
 void Medium::attach(Radio* radio) {
@@ -36,7 +40,7 @@ Duration Medium::transmit_duration(const pkt::Packet& packet) const {
 bool Medium::channel_busy(NodeId node) const {
   const Radio* radio = radios_.at(node);
   assert(radio != nullptr);
-  return radio->channel_busy(simulator_.now());
+  return radio->channel_busy(simulator_.now(), simulator_.current_seq());
 }
 
 void Medium::transmit(NodeId sender, pkt::Packet packet,
@@ -62,8 +66,7 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
   const Duration duration = transmit_duration(*shared);
   const bool collisions = collisions_active();
 
-  tx_radio->begin_transmit(now + duration);
-  if (collisions) tx_radio->corrupt_ongoing_receptions();
+  tx_radio->begin_transmit(now, now + duration, collisions);
   simulator_.schedule(duration, [tx_radio] { tx_radio->finish_transmit(); });
   ++stats_.frames_transmitted;
   if (recorder_ && recorder_->wants(obs::Layer::kPhy)) {
@@ -79,34 +82,49 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
     stats_.airtime_by_type[type_index] += duration;
   }
 
-  for (NodeId receiver = 0; receiver < radios_.size(); ++receiver) {
+  // Candidate receivers from the spatial index: only nodes inside the
+  // widest disc any (tx, rx) multiplier pair could produce. The query
+  // returns ascending NodeIds, preserving the schedule order (and hence
+  // RNG draw order and trace bytes) of the old 0..N scan.
+  const double query_radius =
+      graph_.range() * std::max(range_multiplier, max_rx_multiplier_);
+  graph_.spatial_index().query(graph_.position(sender), query_radius,
+                               rx_candidates_);
+  for (NodeId receiver : rx_candidates_) {
     if (receiver == sender) continue;
     // A frame is decodable when the transmitter shouts far enough or the
     // receiver listens hard enough, whichever is stronger.
+    const double dist = graph_.distance(sender, receiver);
     const double reach =
         graph_.range() *
         std::max(range_multiplier, rx_range_multiplier_[receiver]);
-    if (graph_.distance(sender, receiver) > reach) continue;
+    if (dist > reach) continue;
     Radio* rx_radio = radios_[receiver];
     if (rx_radio == nullptr) continue;
 
-    const Duration propagation =
-        graph_.distance(sender, receiver) / params_.propagation_speed;
+    const Duration propagation = dist / params_.propagation_speed;
     const Time rx_start = now + propagation;
     const Time rx_end = rx_start + duration;
 
-    simulator_.schedule_at(rx_start, [this, rx_radio, shared, rx_end] {
-      rx_radio->begin_receive(shared, simulator_.now(), rx_end,
-                              collisions_active());
-    });
-    simulator_.schedule_at(rx_end, [this, rx_radio, shared] {
-      // The secure-discovery grace window models the paper's assumption
-      // that neighbor discovery completes reliably; injected random loss
-      // honors it just like collisions do.
-      const bool random_loss = params_.extra_loss_prob > 0.0 &&
-                               simulator_.now() >=
-                                   params_.collision_free_until &&
-                               loss_rng_.chance(params_.extra_loss_prob);
+    // Collision gate as the removed begin event would have evaluated it
+    // at rx_start; the reception is registered with the radio right away
+    // so only the delivery event needs scheduling.
+    const bool rx_collisions = params_.collisions_enabled &&
+                               rx_start >= params_.collision_free_until;
+    // next_seq() is the slot the begin event would have occupied (it was
+    // always pushed immediately before its end event).
+    rx_radio->register_reception(shared, rx_start, rx_end, rx_collisions,
+                                 simulator_.next_seq());
+
+    // The secure-discovery grace window models the paper's assumption
+    // that neighbor discovery completes reliably; injected random loss
+    // honors it just like collisions do. The RNG draw stays inside the
+    // delivery event to keep the global draw order unchanged.
+    const bool maybe_loss = params_.extra_loss_prob > 0.0 &&
+                            rx_end >= params_.collision_free_until;
+    simulator_.schedule_at(rx_end, [this, rx_radio, shared, maybe_loss] {
+      const bool random_loss =
+          maybe_loss && loss_rng_.chance(params_.extra_loss_prob);
       obs::EventKind rx_kind = obs::EventKind::kPhyRx;
       switch (rx_radio->finish_receive(*shared, random_loss)) {
         case RxOutcome::kDelivered:

@@ -88,6 +88,12 @@ class Medium {
   Rng loss_rng_;
   std::vector<Radio*> radios_;
   std::vector<double> rx_range_multiplier_;
+  /// max over rx_range_multiplier_ — bounds the spatial-index query disc
+  /// so transmit() only visits plausible receivers, never all N nodes.
+  double max_rx_multiplier_ = 1.0;
+  /// Reusable candidate buffer for the spatial-index query (transmit is
+  /// the hot path; no per-frame allocation).
+  std::vector<NodeId> rx_candidates_;
   obs::Recorder* recorder_ = nullptr;
   MediumStats stats_;
 };

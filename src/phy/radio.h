@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -44,7 +45,16 @@ class Radio {
   /// Carrier sense: any energy on the channel at this node right now
   /// (own transmission or any ongoing reception, corrupted or not), or a
   /// NAV reservation set by an overheard RTS/CTS.
-  bool channel_busy(Time now) const;
+  ///
+  /// `current_seq` is the event sequence number of the caller's executing
+  /// event. A reception whose start equals `now` exactly counts as energy
+  /// only if its (virtual) begin event would already have run — i.e. its
+  /// begin_seq is below `current_seq`. This reproduces, tie for tie, the
+  /// behavior of the begin-event model the fused delivery path replaced.
+  /// The default treats all started receptions as audible (the outside-
+  /// the-run-loop case, where every event at or before `now` has run).
+  bool channel_busy(Time now,
+                    std::uint64_t current_seq = ~std::uint64_t{0}) const;
 
   /// Virtual carrier sense: defer until `until` (kept at the max of all
   /// overheard reservations).
@@ -56,30 +66,40 @@ class Radio {
 
   // --- Medium-facing interface ---
 
-  /// A frame this node transmits occupies [now, until).
-  void begin_transmit(Time until) { tx_busy_until_ = until; }
-
-  /// Half-duplex enforcement when a transmission starts mid-reception:
-  /// everything currently arriving at this node is lost.
-  void corrupt_ongoing_receptions() {
-    for (Reception& r : ongoing_) r.corrupted = true;
-  }
+  /// A frame this node transmits occupies [now, until). Half-duplex
+  /// enforcement happens here: with `collisions` on, receptions in
+  /// progress at `now` are corrupted (the old corrupt_ongoing_receptions),
+  /// and already-registered receptions that will begin mid-transmission
+  /// are corrupted under their own collision gate — exactly what their
+  /// begin-time transmitting() check used to decide.
+  void begin_transmit(Time now, Time until, bool collisions);
 
   /// Notifies the MAC that this node's transmission completed.
   void finish_transmit();
 
-  /// A frame begins arriving; `collisions` selects whether overlap corrupts.
-  void begin_receive(std::shared_ptr<const pkt::Packet> packet, Time now,
-                     Time end, bool collisions);
+  /// Registers an arriving frame occupying [start, end) at this radio.
+  /// Called at transmit time (start is in the future); the medium
+  /// schedules only the single delivery event at `end`, so collision and
+  /// half-duplex outcomes are resolved here from interval overlap instead
+  /// of by a dedicated begin event. `collisions` is the collision gate
+  /// evaluated at `start` (overlap corrupts only when it is set);
+  /// `begin_seq` is the sequence number the begin event would have
+  /// carried, used to break exact-time carrier-sense ties.
+  void register_reception(std::shared_ptr<const pkt::Packet> packet,
+                          Time start, Time end, bool collisions,
+                          std::uint64_t begin_seq);
 
-  /// The frame that started at `begin_receive` finishes. Delivers to the
-  /// frame sink on success; reports the outcome either way.
+  /// The frame registered for [start, end) finishes at `end`. Delivers to
+  /// the frame sink on success; reports the outcome either way.
   RxOutcome finish_receive(const pkt::Packet& packet, bool random_loss);
 
  private:
   struct Reception {
     std::shared_ptr<const pkt::Packet> packet;
+    Time start;
     Time end;
+    std::uint64_t begin_seq;  // seq the begin event would have carried
+    bool collisions;  // overlap corrupts (gate evaluated at start time)
     bool corrupted = false;
   };
 

@@ -6,24 +6,39 @@
 
 namespace lw::sim {
 
-void Simulator::push(Time when, std::function<void()> action,
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kFreeListEnd) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return slot;
+}
+
+void Simulator::push(Time when, SmallFn action,
                      std::shared_ptr<bool> cancelled) {
-  queue_.push(Event{when, next_seq_++, std::move(action), std::move(cancelled)});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.cancelled = std::move(cancelled);
+  queue_.push(QueueEntry{when, next_seq_++, slot});
   if (queue_.size() > max_pending_) max_pending_ = queue_.size();
 }
 
-void Simulator::schedule(Duration delay, std::function<void()> action) {
+void Simulator::schedule(Duration delay, SmallFn action) {
   if (delay < 0) throw std::invalid_argument("negative schedule delay");
   push(now_ + delay, std::move(action), nullptr);
 }
 
-void Simulator::schedule_at(Time when, std::function<void()> action) {
+void Simulator::schedule_at(Time when, SmallFn action) {
   if (when < now_) throw std::invalid_argument("schedule_at in the past");
   push(when, std::move(action), nullptr);
 }
 
 EventHandle Simulator::schedule_cancellable(Duration delay,
-                                            std::function<void()> action) {
+                                            SmallFn action) {
   if (delay < 0) throw std::invalid_argument("negative schedule delay");
   auto flag = std::make_shared<bool>(false);
   push(now_ + delay, std::move(action), flag);
@@ -33,14 +48,22 @@ EventHandle Simulator::schedule_cancellable(Duration delay,
 std::uint64_t Simulator::run_until(Time horizon) {
   std::uint64_t count = 0;
   while (!queue_.empty() && queue_.top().when <= horizon) {
-    // priority_queue::top() is const; the event is moved out via const_cast,
-    // which is safe because pop() immediately removes the moved-from slot.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
+    const QueueEntry entry = queue_.top();
     queue_.pop();
-    assert(event.when >= now_ && "event queue went backwards");
-    now_ = event.when;
-    if (event.cancelled && *event.cancelled) continue;
-    event.action();
+    assert(entry.when >= now_ && "event queue went backwards");
+    now_ = entry.when;
+    // Move the payload out and recycle the slot BEFORE executing: the
+    // action may schedule (and thus reallocate the slab).
+    Slot& slot = slots_[entry.slot];
+    SmallFn action = std::move(slot.action);
+    const bool skip = slot.cancelled && *slot.cancelled;
+    slot.cancelled.reset();
+    slot.next_free = free_head_;
+    free_head_ = entry.slot;
+    if (skip) continue;
+    current_seq_ = entry.seq;
+    action();
+    current_seq_ = kNoEvent;
     ++count;
     ++executed_;
   }
@@ -51,11 +74,19 @@ std::uint64_t Simulator::run_until(Time horizon) {
 std::uint64_t Simulator::run_all() {
   std::uint64_t count = 0;
   while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
+    const QueueEntry entry = queue_.top();
     queue_.pop();
-    now_ = event.when;
-    if (event.cancelled && *event.cancelled) continue;
-    event.action();
+    now_ = entry.when;
+    Slot& slot = slots_[entry.slot];
+    SmallFn action = std::move(slot.action);
+    const bool skip = slot.cancelled && *slot.cancelled;
+    slot.cancelled.reset();
+    slot.next_free = free_head_;
+    free_head_ = entry.slot;
+    if (skip) continue;
+    current_seq_ = entry.seq;
+    action();
+    current_seq_ = kNoEvent;
     ++count;
     ++executed_;
   }

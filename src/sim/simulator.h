@@ -6,11 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "util/sim_time.h"
 
 namespace lw::sim {
@@ -45,15 +45,21 @@ class Simulator {
   /// Current virtual time.
   Time now() const { return now_; }
 
-  /// Schedules action at now() + delay. delay must be >= 0.
-  void schedule(Duration delay, std::function<void()> action);
+  /// Schedules action at now() + delay. delay must be >= 0. This is the
+  /// non-cancellable common case and performs no heap allocation when the
+  /// callable's captures fit SmallFn's inline buffer (no control block,
+  /// no std::function allocation) — the PHY delivery fan-out depends on
+  /// this being cheap.
+  void schedule(Duration delay, SmallFn action);
 
-  /// Schedules action at an absolute time >= now().
-  void schedule_at(Time when, std::function<void()> action);
+  /// Schedules action at an absolute time >= now(). Same allocation-free
+  /// fast path as schedule().
+  void schedule_at(Time when, SmallFn action);
 
   /// Like schedule(), but returns a handle that can cancel the event.
-  EventHandle schedule_cancellable(Duration delay,
-                                   std::function<void()> action);
+  /// Allocates one shared cancellation flag per event; use plain
+  /// schedule() wherever cancellation is not needed.
+  EventHandle schedule_cancellable(Duration delay, SmallFn action);
 
   /// Runs events until the queue is empty or the horizon is passed.
   /// Events with timestamp > horizon remain queued (the clock stops at the
@@ -73,26 +79,51 @@ class Simulator {
   /// Total events executed so far.
   std::uint64_t executed() const { return executed_; }
 
+  /// Sequence number the next scheduled event will receive. Lets the PHY
+  /// stamp eagerly-registered receptions with the seq their begin event
+  /// would have carried, preserving tie-breaking behavior exactly.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Sequence number of the event currently executing; kNoEvent outside
+  /// the run loop (then every scheduled-in-the-past event counts as done).
+  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+  std::uint64_t current_seq() const { return current_seq_; }
+
  private:
-  struct Event {
+  /// Heap entries are 24-byte PODs; the action (and optional cancel flag)
+  /// live in a slab indexed by `slot`, so sift-up/down moves never touch
+  /// the callable. At ~5M events per large run the heap churn is pure
+  /// memcpy of small keys instead of per-move indirect calls.
+  struct QueueEntry {
     Time when;
     std::uint64_t seq;
-    std::function<void()> action;
-    std::shared_ptr<bool> cancelled;  // null when not cancellable
+    std::uint32_t slot;
 
     // Min-heap: earliest time first, then earliest insertion.
-    bool operator>(const Event& other) const {
+    bool operator>(const QueueEntry& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
-  void push(Time when, std::function<void()> action,
-            std::shared_ptr<bool> cancelled);
+  static constexpr std::uint32_t kFreeListEnd = ~std::uint32_t{0};
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  struct Slot {
+    SmallFn action;
+    std::shared_ptr<bool> cancelled;  // null when not cancellable
+    std::uint32_t next_free = kFreeListEnd;
+  };
+
+  void push(Time when, SmallFn action, std::shared_ptr<bool> cancelled);
+  std::uint32_t acquire_slot();
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kFreeListEnd;
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t current_seq_ = kNoEvent;
   std::uint64_t executed_ = 0;
   std::size_t max_pending_ = 0;
 };

@@ -8,23 +8,34 @@
 
 namespace lw::topo {
 
-DiscGraph::DiscGraph(std::vector<Position> positions, double range)
-    : positions_(std::move(positions)), range_(range) {
+namespace {
+
+double checked_range(double range) {
   if (range <= 0) throw std::invalid_argument("range must be positive");
+  return range;
+}
+
+}  // namespace
+
+DiscGraph::DiscGraph(std::vector<Position> positions, double range)
+    : positions_(std::move(positions)),
+      range_(checked_range(range)),
+      index_(positions_, range) {
   adjacency_.resize(positions_.size());
+  std::vector<NodeId> candidates;
   for (NodeId a = 0; a < positions_.size(); ++a) {
-    for (NodeId b = a + 1; b < positions_.size(); ++b) {
-      if (distance(a, b) <= range_) {
-        adjacency_[a].push_back(b);
-        adjacency_[b].push_back(a);
-      }
+    index_.query(positions_[a], range_, candidates);
+    auto& adj = adjacency_[a];
+    adj.reserve(candidates.size());
+    for (NodeId b : candidates) {
+      if (b != a && distance(a, b) <= range_) adj.push_back(b);
     }
   }
 }
 
 bool DiscGraph::is_neighbor(NodeId a, NodeId b) const {
   const auto& adj = adjacency_.at(a);
-  return std::find(adj.begin(), adj.end(), b) != adj.end();
+  return std::binary_search(adj.begin(), adj.end(), b);
 }
 
 double DiscGraph::average_degree() const {

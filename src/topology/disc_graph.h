@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "topology/field.h"
+#include "topology/spatial_index.h"
 #include "util/ids.h"
 
 namespace lw::topo {
@@ -19,14 +20,22 @@ class DiscGraph {
  public:
   /// Builds the symmetric adjacency for |positions| nodes with the given
   /// communication range (bi-directional links, per the system model).
+  /// Adjacency is built through a uniform-cell spatial index (O(N * k)
+  /// for k neighbors per node instead of the all-pairs O(N^2) pass).
   DiscGraph(std::vector<Position> positions, double range);
+
+  /// The cell grid over this deployment (cell size = radio range). The
+  /// medium queries it per transmission to find candidate receivers.
+  const SpatialIndex& spatial_index() const { return index_; }
 
   std::size_t size() const { return positions_.size(); }
   double range() const { return range_; }
   const Position& position(NodeId id) const { return positions_.at(id); }
   const std::vector<Position>& positions() const { return positions_; }
 
+  /// O(log k) membership test (adjacency lists are sorted ascending).
   bool is_neighbor(NodeId a, NodeId b) const;
+  /// Neighbor ids in ascending order.
   const std::vector<NodeId>& neighbors(NodeId id) const {
     return adjacency_.at(id);
   }
@@ -56,6 +65,7 @@ class DiscGraph {
  private:
   std::vector<Position> positions_;
   double range_;
+  SpatialIndex index_;
   std::vector<std::vector<NodeId>> adjacency_;
 };
 

@@ -104,5 +104,46 @@ TEST(AuthTag, FlippedBitFails) {
   }
 }
 
+TEST(HmacKey, MidstateDigestMatchesOneShotHmac) {
+  // The cached-pad fast path must be bit-identical to the reference
+  // one-shot computation for every key-size class (shorter than a block,
+  // exactly one block, hashed-down oversized) across message lengths that
+  // straddle the SHA-256 block and padding boundaries.
+  const std::size_t key_lengths[] = {0, 1, 20, 63, 64, 65, 131, 200};
+  const std::size_t msg_lengths[] = {0, 1, 55, 56, 63, 64, 65, 119, 128, 300};
+  for (std::size_t key_len : key_lengths) {
+    const Key key = key_of(key_len, static_cast<std::uint8_t>(0x37 + key_len));
+    const HmacKey prepared{key};
+    for (std::size_t msg_len : msg_lengths) {
+      const std::string message(msg_len, static_cast<char>('a' + msg_len % 26));
+      EXPECT_EQ(to_hex(prepared.digest(message)),
+                to_hex(hmac_sha256(key, message)))
+          << "key_len=" << key_len << " msg_len=" << msg_len;
+    }
+  }
+}
+
+TEST(HmacKey, ReusedKeyProducesIndependentDigests) {
+  // One prepared key signs many messages; each digest must match a fresh
+  // computation (the midstates are immutable, not consumed).
+  const Key key = key_of(32, 0x5c);
+  const HmacKey prepared{key};
+  for (int i = 0; i < 16; ++i) {
+    const std::string message = "message-" + std::to_string(i);
+    EXPECT_EQ(to_hex(prepared.digest(message)),
+              to_hex(hmac_sha256(key, message)));
+  }
+}
+
+TEST(HmacKey, TagAndVerifyRoundTrip) {
+  const Key key = key_of(16, 0x42);
+  const HmacKey prepared{key};
+  const AuthTag tag = prepared.tag("round-trip");
+  EXPECT_TRUE(prepared.verify("round-trip", tag));
+  EXPECT_FALSE(prepared.verify("round-trap", tag));
+  // And it agrees with the free-function tag path.
+  EXPECT_EQ(tag, make_tag(key, "round-trip"));
+}
+
 }  // namespace
 }  // namespace lw::crypto

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "crypto/key_manager.h"
 
@@ -62,6 +63,32 @@ TEST(KeyManager, OutsiderForgeryFails) {
 TEST(KeyManager, KeyLengthIsDigestLength) {
   KeyManager keys(7);
   EXPECT_EQ(keys.pairwise_key(0, 1).size(), 32u);
+}
+
+TEST(KeyManager, CachedSignMatchesDerivedKeyHmac) {
+  // sign() runs through the per-pair midstate cache; it must produce the
+  // same tag as a from-scratch HMAC under the derived pairwise key, on the
+  // first call (cache miss) and on repeats (cache hit).
+  KeyManager keys(7);
+  const Key pair_key = keys.pairwise_key(2, 5);
+  const AuthTag expected = make_tag(pair_key, "cached-path");
+  EXPECT_EQ(keys.sign(2, 5, "cached-path"), expected);
+  EXPECT_EQ(keys.sign(2, 5, "cached-path"), expected) << "cache-hit path";
+  EXPECT_EQ(keys.sign(5, 2, "cached-path"), expected)
+      << "pair cache must be order-insensitive";
+}
+
+TEST(KeyManager, CachedVerifyRoundTripManyPairs) {
+  KeyManager keys(12);
+  for (NodeId a = 0; a < 12; ++a) {
+    for (NodeId b = a + 1; b < 12; ++b) {
+      const std::string message =
+          "alert|" + std::to_string(a) + "|" + std::to_string(b);
+      const AuthTag tag = keys.sign(a, b, message);
+      EXPECT_TRUE(keys.verify(b, a, message, tag));
+      EXPECT_FALSE(keys.verify(b, a, message + "x", tag));
+    }
+  }
 }
 
 }  // namespace

@@ -67,6 +67,39 @@ TEST(GoldenTrace, MatchesCheckedInFixture) {
       << "trace changed; if intentional, regenerate with LW_UPDATE_GOLDEN=1";
 }
 
+TEST(GoldenTrace, PhyMacFixtureMatchesCheckedIn) {
+  // Companion fixture for the per-frame hot path: every phy.tx/rx/
+  // collision/loss event of the scenario, byte-for-byte. This is the
+  // invariance proof for delivery-path rewrites (the spatial delivery
+  // index and the fused RX delivery events must change speed, not
+  // behavior); the fixture was generated before those optimizations
+  // landed. Shorter horizon than the protocol fixture because PHY
+  // chatter dominates trace volume; 60 s still covers discovery, routing,
+  // and 10 s of the wormhole attack (attack_start = 50 s).
+  auto config = golden_config();
+  config.duration = 60.0;
+  config.obs.trace_layers = obs::parse_layer_mask("phy");
+  const RunResult result = run_experiment(config);
+  ASSERT_FALSE(result.trace_jsonl.empty());
+
+  const std::string path =
+      std::string(LW_GOLDEN_DIR) + "/golden_trace_phy.jsonl";
+  if (std::getenv("LW_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << result.trace_jsonl;
+    GTEST_SKIP() << "fixture regenerated at " << path;
+  }
+
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << path
+      << " — regenerate with LW_UPDATE_GOLDEN=1";
+  EXPECT_EQ(result.trace_jsonl, expected)
+      << "PHY/MAC trace changed; if intentional, regenerate with "
+         "LW_UPDATE_GOLDEN=1";
+}
+
 TEST(GoldenTrace, RepeatedRunsAreByteIdentical) {
   const RunResult a = run_experiment(golden_config());
   const RunResult b = run_experiment(golden_config());

@@ -201,6 +201,64 @@ TEST(DiscGraph, InvalidRangeThrows) {
   EXPECT_THROW(DiscGraph({{0, 0}}, 0.0), std::invalid_argument);
 }
 
+TEST(SpatialIndex, GridAdjacencyMatchesBruteForceOnRandomFields) {
+  // The spatial index is a pure accelerator: across many random
+  // deployments (varying size, density, and aspect ratio) the grid-built
+  // adjacency must equal the all-pairs O(N^2) answer exactly, and every
+  // candidate list must come back in ascending id order (the property the
+  // byte-identical delivery schedule rests on).
+  Rng rng(20240806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.uniform_int(2, 60));
+    const double range = rng.uniform(5.0, 40.0);
+    const Field field{rng.uniform(20.0, 300.0), rng.uniform(20.0, 300.0)};
+    auto positions = place_uniform(field, n, rng);
+    DiscGraph graph(positions, range);
+
+    for (NodeId a = 0; a < n; ++a) {
+      // Brute-force reference adjacency for node a.
+      std::vector<NodeId> expected;
+      for (NodeId b = 0; b < n; ++b) {
+        if (b == a) continue;
+        const double dx = positions[a].x - positions[b].x;
+        const double dy = positions[a].y - positions[b].y;
+        if (std::sqrt(dx * dx + dy * dy) <= range) expected.push_back(b);
+      }
+      EXPECT_EQ(graph.neighbors(a), expected)
+          << "trial " << trial << " node " << a << " (n=" << n
+          << ", range=" << range << ")";
+    }
+  }
+}
+
+TEST(SpatialIndex, QueryReturnsAscendingSuperset) {
+  Rng rng(7);
+  const Field field{150.0, 90.0};
+  auto positions = place_uniform(field, 300, rng);
+  SpatialIndex index(positions, 25.0);
+  std::vector<NodeId> candidates;
+  for (int probe = 0; probe < 100; ++probe) {
+    const Position center{rng.uniform(-20.0, 170.0), rng.uniform(-20.0, 110.0)};
+    const double radius = rng.uniform(0.0, 60.0);
+    index.query(center, radius, candidates);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    EXPECT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end())
+        << "duplicate candidate";
+    // Superset property: every node actually inside the disc is returned.
+    for (NodeId id = 0; id < positions.size(); ++id) {
+      const double dx = positions[id].x - center.x;
+      const double dy = positions[id].y - center.y;
+      if (std::sqrt(dx * dx + dy * dy) <= radius) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       id))
+            << "probe " << probe << " missed node " << id;
+      }
+    }
+  }
+}
+
 TEST(DiscGraph, OutOfRangeNodeThrows) {
   DiscGraph graph = line_graph(3, 10.0, 15.0);
   EXPECT_THROW((void)graph.shortest_path(0, 7), std::out_of_range);
