@@ -7,6 +7,12 @@
 //                default 1); results are bit-identical for any T
 //   --json       machine-readable output instead of the text tables
 //   --trace=F    write a JSONL event trace of every run to file F
+//                (buffered per run in memory, written in spec order at the
+//                end)
+//   --trace-out=F  same trace, streamed to F during the sweep instead of
+//                buffered in RunResult::trace_jsonl — constant memory for
+//                long runs; byte-identical to --trace at any --threads.
+//                Mutually exclusive with --trace.
 //   --trace-filter=L  comma-separated layers to trace (phy,mac,nbr,route,
 //                mon,atk; default all)
 //   --profile    collect run profiles; adds per-point profiler totals and
@@ -43,8 +49,10 @@ struct Common {
   std::uint64_t seed = 1;
   int threads = 1;
   bool json = false;
-  /// JSONL trace output file; empty = tracing off.
+  /// JSONL trace output file (buffered per run); empty = off.
   std::string trace_file;
+  /// JSONL trace output file (streamed during the sweep); empty = off.
+  std::string trace_out_file;
   std::uint32_t trace_layers = lw::obs::kAllLayers;
   bool profile = false;
   bool quiet = false;
@@ -59,6 +67,11 @@ inline Common parse_common(const lw::Config& args, int default_runs,
   common.threads = args.get_int("threads", 1);
   common.json = args.get_bool("json", false);
   common.trace_file = args.get_string("trace", "");
+  common.trace_out_file = args.get_string("trace-out", "");
+  if (!common.trace_file.empty() && !common.trace_out_file.empty()) {
+    std::fprintf(stderr, "--trace and --trace-out are mutually exclusive\n");
+    std::exit(1);
+  }
   common.profile = args.get_bool("profile", false);
   common.quiet = args.get_bool("quiet", false);
   const std::string filter = args.get_string("trace-filter", "all");
@@ -72,16 +85,20 @@ inline Common parse_common(const lw::Config& args, int default_runs,
 }
 
 /// Applies the common knobs to a sweep spec (including the observability
-/// switches: tracing when --trace was given, counters and profiling under
-/// --trace/--profile).
+/// switches: tracing when --trace/--trace-out was given, counters and
+/// profiling under --trace/--profile, forensic incident folding whenever a
+/// trace is requested).
 inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
+  const bool tracing =
+      !common.trace_file.empty() || !common.trace_out_file.empty();
   spec.runs = common.runs;
   spec.base_seed = common.seed;
   spec.threads = common.threads;
-  spec.base.obs.trace = !common.trace_file.empty();
+  spec.base.obs.trace = tracing;
   spec.base.obs.trace_layers = common.trace_layers;
   spec.base.obs.profile = common.profile;
-  spec.base.obs.counters = common.profile || !common.trace_file.empty();
+  spec.base.obs.counters = common.profile || tracing;
+  spec.base.obs.forensics = tracing;
 }
 
 namespace detail {
@@ -175,6 +192,28 @@ inline lw::scenario::SweepResult run_sweep(const Common& common,
                                            lw::scenario::SweepSpec spec) {
   apply(common, spec);
   spec.progress = detail::make_progress(common);
+  std::ofstream stream_out;
+  if (!common.trace_out_file.empty()) {
+    stream_out.open(common.trace_out_file);
+    if (!stream_out) {
+      std::fprintf(stderr, "cannot write trace file %s\n",
+                   common.trace_out_file.c_str());
+      std::exit(1);
+    }
+    // Stream each replica's trace as soon as it is next in spec order (the
+    // drain hook serializes under the engine lock), then drop the buffer:
+    // the file matches --trace byte for byte without holding every run's
+    // trace in memory until the sweep ends.
+    spec.drain = [&stream_out, &spec](std::size_t p, std::size_t /*i*/,
+                                      lw::scenario::RunResult& r) {
+      stream_out << "{\"run\":{\"point\":\""
+                 << detail::json_escape(spec.points[p].label)
+                 << "\",\"seed\":" << r.seed << "}}\n";
+      stream_out << r.trace_jsonl;
+      r.trace_jsonl.clear();
+      r.trace_jsonl.shrink_to_fit();
+    };
+  }
   lw::scenario::SweepResult result = lw::scenario::run_sweep(spec);
   if (!common.trace_file.empty()) detail::write_trace(common, result);
   if (common.profile) detail::print_profile(result);

@@ -1,0 +1,109 @@
+#include "forensics/check.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace lw::forensics {
+namespace {
+
+/// Per-run-segment linter state; reset at every run header.
+struct SegmentState {
+  Time last_t = 0.0;
+  bool any_event = false;
+  /// Lineages that appeared in a route.forward.
+  std::set<LineageId> forwarded;
+  /// accused -> distinct guards that alerted about it.
+  std::map<NodeId, std::set<NodeId>> alert_guards;
+  /// (isolating node, accused) pairs already isolated.
+  std::set<std::pair<NodeId, NodeId>> isolated;
+};
+
+}  // namespace
+
+std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
+                                    const CheckOptions& options) {
+  std::vector<CheckIssue> issues;
+  SegmentState state;
+
+  for (const TraceRecord& record : records) {
+    if (record.is_run_header) {
+      state = SegmentState{};
+      continue;
+    }
+    if (!record.kind_known) {
+      issues.push_back({record.line, "unknown event '" + record.layer + "." +
+                                         record.name + "'"});
+      continue;
+    }
+
+    if (state.any_event && record.t < state.last_t) {
+      issues.push_back(
+          {record.line, "timestamp goes backwards (t=" +
+                            std::to_string(record.t) + " after t=" +
+                            std::to_string(state.last_t) + ")"});
+    }
+    state.last_t = record.t;
+    state.any_event = true;
+
+    switch (record.kind) {
+      case obs::EventKind::kRouteForward:
+        if (record.has_packet) state.forwarded.insert(record.lineage);
+        if (record.peer != kInvalidNode &&
+            state.isolated.count({record.node, record.peer}) != 0) {
+          issues.push_back(
+              {record.line, "node " + std::to_string(record.node) +
+                                " forwards to " + std::to_string(record.peer) +
+                                " after isolating it"});
+        }
+        break;
+
+      case obs::EventKind::kRouteDeliver:
+        if (record.has_packet &&
+            state.forwarded.count(record.lineage) == 0) {
+          issues.push_back(
+              {record.line, "delivery of lineage " +
+                                std::to_string(record.lineage) +
+                                " without a matching route.forward"});
+        }
+        break;
+
+      case obs::EventKind::kMonAlert:
+        if (record.peer != kInvalidNode) {
+          state.alert_guards[record.peer].insert(record.node);
+        }
+        break;
+
+      case obs::EventKind::kMonIsolation: {
+        const NodeId accused = record.peer;
+        const auto it = state.alert_guards.find(accused);
+        const std::size_t distinct =
+            it == state.alert_guards.end() ? 0 : it->second.size();
+        const auto claimed = static_cast<std::size_t>(record.value);
+        if (distinct < claimed) {
+          issues.push_back(
+              {record.line,
+               "isolation of " + std::to_string(accused) + " claims " +
+                   std::to_string(claimed) + " alerts but only " +
+                   std::to_string(distinct) + " distinct guards alerted"});
+        }
+        if (options.gamma > 0 &&
+            distinct < static_cast<std::size_t>(options.gamma)) {
+          issues.push_back(
+              {record.line,
+               "isolation of " + std::to_string(accused) + " with only " +
+                   std::to_string(distinct) + " distinct accusing guards (gamma=" +
+                   std::to_string(options.gamma) + ")"});
+        }
+        state.isolated.insert({record.node, accused});
+        break;
+      }
+
+      default:
+        break;
+    }
+  }
+  return issues;
+}
+
+}  // namespace lw::forensics

@@ -1,0 +1,43 @@
+// Trace-invariant linter: the machine-checkable contract of a well-formed
+// lw trace.
+//
+// A trace that violates any of these was produced by a buggy build or was
+// tampered with:
+//   1. Timestamps are monotone non-decreasing within a run segment (the
+//      simulator executes events in time order; run headers reset the
+//      clock).
+//   2. Every route.deliver is preceded by a same-lineage route.forward —
+//      data cannot arrive that was never sent.
+//   3. Every mon.isolation is preceded by alerts from >= gamma distinct
+//      guards about the accused, and by at least as many distinct guards
+//      as the isolation event's alert count claims.
+//   4. A node never route.forwards to a peer after isolating that peer
+//      ("never send to a revoked node").
+//   5. Every line parses and names a known layer/event pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forensics/trace_reader.h"
+
+namespace lw::forensics {
+
+struct CheckIssue {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct CheckOptions {
+  /// gamma (the paper's detection confidence index): distinct accusing
+  /// guards required before an isolation is legitimate.
+  int gamma = 3;
+};
+
+/// Runs every invariant over the parsed trace; returns all violations in
+/// line order (empty = clean trace).
+std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
+                                    const CheckOptions& options = {});
+
+}  // namespace lw::forensics

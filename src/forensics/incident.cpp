@@ -1,0 +1,113 @@
+#include "forensics/incident.h"
+
+#include <algorithm>
+
+namespace lw::forensics {
+
+void IncidentBuilder::on_event(const obs::Event& event) {
+  switch (event.kind) {
+    case obs::EventKind::kAtkSpawn:
+      malicious_.insert(event.node);
+      return;
+    case obs::EventKind::kAtkTunnel:
+    case obs::EventKind::kAtkReplay:
+    case obs::EventKind::kAtkDrop:
+      malicious_.insert(event.node);
+      first_act_.try_emplace(event.node, event.t);
+      return;
+
+    case obs::EventKind::kMonSuspicion:
+    case obs::EventKind::kMonDetection:
+    case obs::EventKind::kMonAlert:
+    case obs::EventKind::kMonIsolation:
+      break;  // evidence about event.peer, handled below
+
+    default:
+      return;  // watch bookkeeping and non-monitor layers carry no blame
+  }
+
+  const NodeId accused = event.peer;
+  if (accused == kInvalidNode) return;
+  Incident& incident = state_[accused];
+  incident.accused = accused;
+
+  ++incident.timeline_total;
+  if (incident.timeline.size() < Incident::kTimelineCap) {
+    incident.timeline.push_back(
+        {event.t, event.kind, event.node, event.value});
+  }
+
+  switch (event.kind) {
+    case obs::EventKind::kMonSuspicion:
+      if (incident.first_suspicion < 0.0) incident.first_suspicion = event.t;
+      if (event.detail == obs::kSuspicionDrop) {
+        ++incident.suspicions_drop;
+      } else {
+        ++incident.suspicions_fabrication;
+      }
+      incident.peak_malc = std::max(incident.peak_malc, event.value);
+      break;
+    case obs::EventKind::kMonDetection:
+      if (incident.first_detection < 0.0) incident.first_detection = event.t;
+      ++incident.detections;
+      incident.peak_malc = std::max(incident.peak_malc, event.value);
+      break;
+    case obs::EventKind::kMonAlert: {
+      ++incident.alerts;
+      auto& guards = incident.accusing_guards;
+      auto it = std::lower_bound(guards.begin(), guards.end(), event.node);
+      if (it == guards.end() || *it != event.node) guards.insert(it, event.node);
+      break;
+    }
+    case obs::EventKind::kMonIsolation:
+      if (incident.first_isolation < 0.0) incident.first_isolation = event.t;
+      ++incident.isolations;
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<Incident> IncidentBuilder::build() const {
+  std::vector<Incident> incidents;
+  for (const auto& [accused, incident] : state_) {
+    // Suspicion-only accusations never convicted anyone; an incident needs
+    // at least a local detection (MalC crossed C_t) or an isolation.
+    if (incident.detections == 0 && incident.isolations == 0) continue;
+    Incident labeled = incident;
+    labeled.ground_truth_malicious = malicious_.count(accused) != 0;
+    auto act = first_act_.find(accused);
+    labeled.first_malicious_act =
+        act == first_act_.end() ? -1.0 : act->second;
+    incidents.push_back(std::move(labeled));
+  }
+  return incidents;
+}
+
+ForensicsSummary IncidentBuilder::summarize(
+    const std::vector<Incident>& incidents) {
+  ForensicsSummary summary;
+  summary.enabled = true;
+  double latency_sum = 0.0;
+  for (const Incident& incident : incidents) {
+    ++summary.incidents;
+    if (incident.isolated()) ++summary.isolated_incidents;
+    if (incident.true_positive()) {
+      ++summary.true_positives;
+    } else {
+      ++summary.false_positives;
+    }
+    const double latency = incident.detection_latency();
+    if (incident.true_positive() && latency >= 0.0) {
+      latency_sum += latency;
+      ++summary.latency_samples;
+    }
+  }
+  if (summary.latency_samples > 0) {
+    summary.mean_detection_latency =
+        latency_sum / static_cast<double>(summary.latency_samples);
+  }
+  return summary;
+}
+
+}  // namespace lw::forensics

@@ -1,0 +1,130 @@
+// Forensic attribution: folding the obs event stream into labeled
+// detection incidents.
+//
+// LITEWORP's claims are forensic — a guard matched (or failed to match) a
+// frame in its watch buffer, accused a neighbor, and gamma distinct
+// accusations produced an isolation. An Incident reconstructs that
+// evidence chain for one accused node: the accusing guards, the suspicion
+// kinds (fabrication vs drop), the MalC/alert timeline, and the detection
+// latency from the node's first malicious act — cross-checked against
+// attack-layer ground-truth events (atk.spawn/tunnel/replay/drop) to label
+// the incident a true or false positive.
+//
+// The same IncidentBuilder serves two callers: in-process as an
+// obs::EventSink attached by scenario::Network (config.obs.forensics), and
+// offline in tools/lw-trace, fed with events parsed back from a JSONL
+// trace. Both paths see identical Event streams, so labels never diverge
+// between live runs and post-hoc analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace lw::forensics {
+
+/// One monitor-layer event concerning the accused, kept in arrival order:
+/// the MalC/alert timeline of the incident.
+struct TimelinePoint {
+  Time t = 0.0;
+  obs::EventKind kind = obs::EventKind::kMonSuspicion;
+  /// The acting guard / isolating node.
+  NodeId actor = kInvalidNode;
+  /// Event value (MalC for suspicions, alert count for isolations).
+  double value = 0.0;
+};
+
+/// The reconstructed evidence chain against one accused node.
+struct Incident {
+  NodeId accused = kInvalidNode;
+
+  // ---- Ground-truth label (attack layer) ----
+  /// True when the accused appears as the actor of any attack-layer event
+  /// (atk.spawn at t=0 marks every malicious node, acting or not).
+  bool ground_truth_malicious = false;
+  /// First tunnel/replay/drop by the accused; negative when it never acted.
+  Time first_malicious_act = -1.0;
+
+  // ---- Evidence timeline ----
+  Time first_suspicion = -1.0;
+  /// First guard whose MalC crossed C_t (mon.detection).
+  Time first_detection = -1.0;
+  /// First node that collected gamma distinct accusations (mon.isolation);
+  /// negative when the incident never progressed past local detection.
+  Time first_isolation = -1.0;
+  /// Distinct guards that transmitted alerts about the accused, ascending.
+  std::vector<NodeId> accusing_guards;
+  std::uint64_t suspicions_fabrication = 0;
+  std::uint64_t suspicions_drop = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t isolations = 0;
+  double peak_malc = 0.0;
+  /// Monitor events about the accused in arrival order, capped at
+  /// kTimelineCap entries (timeline_total counts all of them).
+  std::vector<TimelinePoint> timeline;
+  std::uint64_t timeline_total = 0;
+
+  static constexpr std::size_t kTimelineCap = 256;
+
+  bool isolated() const { return isolations > 0; }
+  bool true_positive() const { return ground_truth_malicious; }
+  /// Time from the accused's first malicious act to its first isolation;
+  /// negative when either end is missing.
+  double detection_latency() const {
+    if (first_isolation < 0.0 || first_malicious_act < 0.0) return -1.0;
+    return first_isolation - first_malicious_act;
+  }
+};
+
+/// Per-run rollup of the incident list; lands in RunResult and the sweep
+/// JSON so benches report precision and latency without rerunning.
+struct ForensicsSummary {
+  bool enabled = false;
+  /// Accused nodes with at least one local detection or isolation.
+  std::uint64_t incidents = 0;
+  /// Incidents that reached isolation (gamma distinct guards).
+  std::uint64_t isolated_incidents = 0;
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  /// Mean first-malicious-act -> first-isolation latency over true
+  /// positives that acted and were isolated.
+  double mean_detection_latency = 0.0;
+  std::uint64_t latency_samples = 0;
+
+  double precision() const {
+    const std::uint64_t total = true_positives + false_positives;
+    return total == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(total);
+  }
+};
+
+/// EventSink folding monitor + attack events into Incidents. Subscribe it
+/// to layer_bit(kMonitor) | layer_bit(kAttack); other layers are ignored.
+class IncidentBuilder final : public obs::EventSink {
+ public:
+  void on_event(const obs::Event& event) override;
+
+  /// Incidents for every accused with at least one detection or isolation,
+  /// sorted by accused id (deterministic), labeled against the attack
+  /// ground truth seen so far.
+  std::vector<Incident> build() const;
+
+  ForensicsSummary summarize() const { return summarize(build()); }
+  static ForensicsSummary summarize(const std::vector<Incident>& incidents);
+
+ private:
+  /// Keyed by accused; std::map keeps build() output deterministic.
+  std::map<NodeId, Incident> state_;
+  /// Ground truth: nodes that emitted any attack-layer event.
+  std::set<NodeId> malicious_;
+  /// First non-spawn attack act per malicious node.
+  std::map<NodeId, Time> first_act_;
+};
+
+}  // namespace lw::forensics

@@ -173,7 +173,9 @@ void LocalMonitor::observe(NodeId suspect, bool suspicious, Suspicion kind) {
                .kind = obs::EventKind::kMonSuspicion,
                .node = env_.id(),
                .peer = suspect,
-               .value = malc(suspect)});
+               .value = malc(suspect),
+               .detail = kind == Suspicion::kDrop ? obs::kSuspicionDrop
+                                                  : obs::kSuspicionFabrication});
     }
   }
   if (detected_.count(suspect) != 0) return;

@@ -106,6 +106,8 @@ const char* to_string(EventKind kind) {
       return "replay";
     case EventKind::kAtkDrop:
       return "drop";
+    case EventKind::kAtkSpawn:
+      return "spawn";
   }
   return "?";
 }
@@ -145,9 +147,22 @@ Layer layer_of(EventKind kind) {
     case EventKind::kAtkTunnel:
     case EventKind::kAtkReplay:
     case EventKind::kAtkDrop:
+    case EventKind::kAtkSpawn:
       return Layer::kAttack;
   }
   return Layer::kPhy;
+}
+
+bool parse_event_kind(const std::string& layer, const std::string& event,
+                      EventKind* out) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const EventKind kind = static_cast<EventKind>(i);
+    if (event == to_string(kind) && layer == to_string(layer_of(kind))) {
+      if (out != nullptr) *out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace lw::obs

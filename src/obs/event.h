@@ -67,7 +67,8 @@ enum class EventKind : std::uint8_t {
   // ---- Routing ----
   kRouteDiscovery,   // REQ flood started           peer: destination
   kRouteEstablished, // usable route cached         peer: destination value: hops
-  kRouteForward,     // DATA forwarded              peer: next hop
+  kRouteForward,     // DATA handed toward next hop peer: next hop
+                     //   (emitted at the origin AND at every forwarder)
   kRouteDeliver,     // DATA reached destination    value: e2e latency [s]
   kRouteDrop,        // DATA dropped (no route)
   kRouteError,       // RERR originated             peer: broken node
@@ -85,9 +86,12 @@ enum class EventKind : std::uint8_t {
   kAtkTunnel,        // frame entered the tunnel    peer: colluder
   kAtkReplay,        // tunneled frame replayed
   kAtkDrop,          // data swallowed
+  kAtkSpawn,         // node IS malicious (emitted once at t=0; the
+                     // ground-truth anchor offline incident labeling
+                     // cross-checks isolations against)
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kAtkDrop) + 1;
+    static_cast<std::size_t>(EventKind::kAtkSpawn) + 1;
 
 /// Short stable event name ("tx", "watch_add", ...); combined with the
 /// layer it forms the metrics-registry counter name "<layer>.<event>".
@@ -95,6 +99,13 @@ const char* to_string(EventKind kind);
 
 /// The layer an event kind belongs to.
 Layer layer_of(EventKind kind);
+
+/// Reverse lookup for trace readers: resolves ("mon", "suspicion") back to
+/// EventKind::kMonSuspicion. The layer disambiguates duplicated short
+/// names ("route"/"atk" both have a "drop"). Returns false on unknown
+/// names.
+bool parse_event_kind(const std::string& layer, const std::string& event,
+                      EventKind* out);
 
 struct Event {
   Time t = 0.0;
@@ -105,8 +116,15 @@ struct Event {
   NodeId peer = kInvalidNode;
   /// Kind-specific scalar (latency, backoff delay, MalC, hop count).
   double value = 0.0;
+  /// Kind-specific discriminator. kMonSuspicion: 0 = fabrication, 1 = drop
+  /// (the two suspicion kinds of Section 4.2); 0 for every other kind.
+  std::uint8_t detail = 0;
   /// The packet involved, when one exists. Valid only during dispatch.
   const pkt::Packet* packet = nullptr;
 };
+
+/// Event::detail values for kMonSuspicion.
+inline constexpr std::uint8_t kSuspicionFabrication = 0;
+inline constexpr std::uint8_t kSuspicionDrop = 1;
 
 }  // namespace lw::obs

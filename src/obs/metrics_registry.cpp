@@ -4,17 +4,49 @@
 
 namespace lw::obs {
 
+Histogram::Histogram(std::uint64_t seed, std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      // splitmix64 state offset so seed 0 still produces a usable stream.
+      rng_state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+std::uint64_t Histogram::next_random() {
+  // splitmix64: tiny, deterministic, and statistically fine for
+  // reservoir-slot selection.
+  std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void Histogram::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  sum_ += sample;
+  ++count_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+    return;
+  }
+  // Algorithm R: the new sample replaces a random slot with probability
+  // capacity / count, keeping the reservoir a uniform subsample.
+  const std::uint64_t slot = next_random() % count_;
+  if (slot < capacity_) samples_[static_cast<std::size_t>(slot)] = sample;
+}
+
 HistogramSummary Histogram::summary() const {
   HistogramSummary s;
-  if (samples_.empty()) return s;
+  if (count_ == 0) return s;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
-  s.count = sorted.size();
-  s.min = sorted.front();
-  s.max = sorted.back();
-  double sum = 0.0;
-  for (double v : sorted) sum += v;
-  s.mean = sum / static_cast<double>(sorted.size());
+  s.count = count_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = sum_ / static_cast<double>(count_);
   const auto percentile = [&sorted](double p) {
     const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     const auto index = static_cast<std::size_t>(rank);

@@ -30,15 +30,37 @@ struct HistogramSummary {
   double p95 = 0.0;
 };
 
-/// Sample-keeping histogram; summary percentiles use the same linear
-/// interpolation as MetricsCollector::latency_percentile.
+/// Bounded-memory histogram: exact count/min/max/mean plus a fixed-size
+/// uniform reservoir (Vitter's Algorithm R, deterministic — the RNG is a
+/// splitmix64 stream seeded from the run seed) that the summary
+/// percentiles are computed over. Up to `capacity` samples the reservoir
+/// holds everything, so percentiles are bit-identical to an unbounded
+/// sample-keeping histogram (the pre-reservoir behavior); beyond that,
+/// memory stays flat and percentiles become a uniform-subsample estimate.
+/// Percentile interpolation matches MetricsCollector::latency_percentile.
 class Histogram {
  public:
-  void add(double sample) { samples_.push_back(sample); }
-  std::uint64_t count() const { return samples_.size(); }
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  Histogram() : Histogram(0) {}
+  explicit Histogram(std::uint64_t seed,
+                     std::size_t capacity = kDefaultCapacity);
+
+  void add(double sample);
+  std::uint64_t count() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
   HistogramSummary summary() const;
 
  private:
+  std::uint64_t next_random();
+
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::uint64_t rng_state_;
+  /// The reservoir; all samples while count_ <= capacity_.
   std::vector<double> samples_;
 };
 
@@ -73,9 +95,13 @@ class MetricsRegistry {
 };
 
 /// EventSink that counts every event per kind and feeds the
-/// value-carrying histograms.
+/// value-carrying histograms. `seed` (the run seed) makes the histogram
+/// reservoirs deterministic per run at any sweep thread count.
 class RegistrySink final : public EventSink {
  public:
+  explicit RegistrySink(std::uint64_t seed = 0)
+      : deliver_latency_(seed), backoff_delay_(seed ^ 0x9E3779B97F4A7C15ull) {}
+
   void on_event(const Event& event) override;
 
   /// Materializes counter/histogram names; zero-count kinds are omitted.

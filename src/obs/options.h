@@ -20,8 +20,14 @@ struct Options {
   /// Profile the run (RunResult::profile): per-layer wall time and event
   /// counts, events/second, simulator queue high-water mark.
   bool profile = false;
+  /// Fold monitor/attack events into labeled detection incidents
+  /// (RunResult::incidents / RunResult::forensics): per accused node the
+  /// accusing guards, suspicion kinds, MalC/alert timeline, detection
+  /// latency, and a true/false-positive label cross-checked against
+  /// attack-layer ground truth.
+  bool forensics = false;
 
-  bool any() const { return trace || counters || profile; }
+  bool any() const { return trace || counters || profile || forensics; }
 };
 
 }  // namespace lw::obs

@@ -25,10 +25,17 @@ void TraceWriter::on_event(const Event& event) {
   }
   if (event.packet != nullptr) {
     n = std::snprintf(buffer, sizeof(buffer),
-                      ",\"pkt\":\"%s\",\"origin\":%" PRIu32 ",\"seq\":%" PRIu64,
+                      ",\"pkt\":\"%s\",\"origin\":%" PRIu32 ",\"seq\":%" PRIu64
+                      ",\"lin\":%" PRIu64,
                       pkt::to_string(event.packet->type),
                       static_cast<std::uint32_t>(event.packet->origin),
-                      static_cast<std::uint64_t>(event.packet->seq));
+                      static_cast<std::uint64_t>(event.packet->seq),
+                      static_cast<std::uint64_t>(event.packet->lineage));
+    out_.write(buffer, n);
+  }
+  if (event.kind == EventKind::kMonSuspicion) {
+    const char* sus = event.detail == kSuspicionDrop ? "drop" : "fab";
+    n = std::snprintf(buffer, sizeof(buffer), ",\"sus\":\"%s\"", sus);
     out_.write(buffer, n);
   }
   if (event.value != 0.0) {

@@ -1,8 +1,8 @@
 // JSONL event trace: the machine-readable replacement for an ns-2 trace
 // file.
 //
-// One JSON object per line, schema documented in EXPERIMENTS.md
-// ("Observability"). All formatting is locale-independent fixed printf
+// One JSON object per line, schema documented in docs/TRACE_FORMAT.md.
+// All formatting is locale-independent fixed printf
 // formatting, and events arrive in deterministic simulator order, so the
 // trace of a fixed-seed run is byte-identical across repeated runs and
 // across sweep thread counts (enforced by the golden-trace test).

@@ -53,6 +53,12 @@ struct AlertAuth {
 
 struct Packet {
   PacketUid uid = 0;
+  /// Causal lineage: the uid of the packet this one ultimately descends
+  /// from. Stamped by the factory at creation and inherited verbatim by
+  /// forward_copy (honest forwards, wormhole tunneling, replays), so every
+  /// trace event carrying a packet can be joined into one hop-by-hop
+  /// journey. Simulation bookkeeping — never read by protocol logic.
+  LineageId lineage = 0;
   PacketType type = PacketType::kData;
 
   // ---- Link layer ----
@@ -167,6 +173,7 @@ class PacketFactory {
   Packet make(PacketType type) {
     Packet p;
     p.uid = ++last_uid_;
+    p.lineage = p.uid;  // a fresh packet starts its own lineage
     p.type = type;
     return p;
   }

@@ -130,6 +130,16 @@ void OnDemandRouting::transmit_data(NodeId destination, const Route& route,
     queue_for_discovery(destination, payload_bytes, created_at);
     return;
   }
+  // The origin's own handoff is a forward too: with it in the trace, every
+  // route.deliver has a same-lineage route.forward upstream (the lw-trace
+  // `check` invariant) even on single-hop routes.
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kRouting)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kRouteForward,
+             .node = env_.id(),
+             .peer = data.link_dst,
+             .packet = &data});
+  }
   env_.send(std::move(data));
 }
 

@@ -45,8 +45,16 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
     recorder_->add_sink(trace_writer_.get(), config_.obs.trace_layers);
   }
   if (config_.obs.counters) {
-    registry_ = std::make_unique<obs::RegistrySink>();
+    // Seeded so reservoir histograms are reproducible per run (and hence
+    // identical across sweep thread counts).
+    registry_ = std::make_unique<obs::RegistrySink>(config_.seed);
     recorder_->add_sink(registry_.get());
+  }
+  if (config_.obs.forensics) {
+    incident_builder_ = std::make_unique<forensics::IncidentBuilder>();
+    recorder_->add_sink(incident_builder_.get(),
+                        obs::layer_bit(obs::Layer::kMonitor) |
+                            obs::layer_bit(obs::Layer::kAttack));
   }
   if (config_.obs.profile) {
     profiler_ = std::make_unique<obs::RunProfiler>();
@@ -270,6 +278,23 @@ void Network::configure_attack() {
 void Network::run() { run_until(config_.duration); }
 
 void Network::run_until(Time t) {
+  // Ground-truth anchor for forensics: one atk.spawn per malicious node,
+  // leading the trace at t=0, so passive attackers are still labeled
+  // malicious from the trace alone. Emitted on the first run call — after
+  // callers have attached their own sinks, and without a scheduled event
+  // that would perturb the events_executed counter.
+  if (!spawns_emitted_) {
+    spawns_emitted_ = true;
+    if (recorder_->wants(obs::Layer::kAttack)) {
+      for (NodeId bad : malicious_ids_) {
+        obs::Event spawn;
+        spawn.t = simulator_.now();
+        spawn.kind = obs::EventKind::kAtkSpawn;
+        spawn.node = bad;
+        recorder_->emit(spawn);
+      }
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
   simulator_.run_until(t);
   wall_seconds_ +=

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "attack/coordinator.h"
+#include "forensics/incident.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
@@ -79,6 +80,19 @@ class Network {
   /// the run()/run_until() calls made so far.
   obs::ProfileReport profile() const;
 
+  /// Labeled detection incidents folded live from the event stream (empty
+  /// unless obs.forensics). Sorted by accused node id.
+  std::vector<forensics::Incident> incidents() const {
+    return incident_builder_ ? incident_builder_->build()
+                             : std::vector<forensics::Incident>{};
+  }
+
+  /// Aggregate forensics summary; enabled flag mirrors obs.forensics.
+  forensics::ForensicsSummary forensics_summary() const {
+    return incident_builder_ ? incident_builder_->summarize()
+                             : forensics::ForensicsSummary{};
+  }
+
  private:
   topo::DiscGraph build_topology(const RngFactory& rngs);
   std::vector<NodeId> pick_malicious(const topo::DiscGraph& graph, Rng& rng,
@@ -92,9 +106,12 @@ class Network {
   std::ostringstream trace_buffer_;
   std::unique_ptr<obs::TraceWriter> trace_writer_;
   std::unique_ptr<obs::RegistrySink> registry_;
+  std::unique_ptr<forensics::IncidentBuilder> incident_builder_;
   std::unique_ptr<obs::RunProfiler> profiler_;
   std::unique_ptr<obs::Recorder> recorder_;
   double wall_seconds_ = 0.0;
+  /// atk.spawn ground-truth events go out once, on the first run call.
+  bool spawns_emitted_ = false;
   std::unique_ptr<topo::DiscGraph> graph_;
   std::unique_ptr<phy::Medium> medium_;
   std::vector<NodeId> malicious_ids_;

@@ -44,6 +44,8 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.trace_jsonl = network.trace_jsonl();
   r.registry = network.registry_snapshot();
   r.profile = network.profile();
+  r.incidents = network.incidents();
+  r.forensics = network.forensics_summary();
   return r;
 }
 

@@ -63,6 +63,9 @@ struct RunResult {
   obs::RegistrySnapshot registry;
   /// Profiling report; enabled mirrors obs.profile.
   obs::ProfileReport profile;
+  /// Labeled detection incidents + rollup; enabled mirrors obs.forensics.
+  std::vector<forensics::Incident> incidents;
+  forensics::ForensicsSummary forensics;
 
   double fraction_dropped() const {
     return data_originated == 0

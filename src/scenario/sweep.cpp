@@ -57,9 +57,13 @@ SweepResult run_sweep(const SweepSpec& spec) {
   std::vector<std::vector<double>> durations(point_count,
                                              std::vector<double>(runs, 0.0));
 
-  std::mutex mutex;  // guards `done` / `error` / the progress callback
+  std::mutex mutex;  // guards `done` / `error` / the drain and progress hooks
   std::size_t done = 0;
   std::exception_ptr error;
+  // Spec-order drain cursor: job j = p*runs + i is drained only after jobs
+  // 0..j-1 have been, no matter which worker finishes when.
+  std::vector<char> finished(total_jobs, 0);
+  std::size_t drain_next = 0;
 
   auto job = [&](std::size_t p, std::size_t i) {
     try {
@@ -76,6 +80,15 @@ SweepResult run_sweep(const SweepSpec& spec) {
     }
     std::lock_guard<std::mutex> lock(mutex);
     ++done;
+    finished[p * runs + i] = 1;
+    if (spec.drain && !error) {
+      while (drain_next < total_jobs && finished[drain_next] != 0) {
+        const std::size_t dp = drain_next / runs;
+        const std::size_t di = drain_next % runs;
+        spec.drain(dp, di, replicas[dp][di]);
+        ++drain_next;
+      }
+    }
     if (spec.progress) spec.progress(done, total_jobs);
   };
 
@@ -158,6 +171,11 @@ class JsonOut {
   JsonOut& value(std::uint64_t v) {
     comma();
     out_ << v;
+    return *this;
+  }
+  JsonOut& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
     return *this;
   }
   JsonOut& value(const std::string& v) {
@@ -267,6 +285,31 @@ void emit_replica(JsonOut& json, const RunResult& r) {
   json.key("frames_delivered").value(r.frames_delivered);
   json.key("frames_collided").value(r.frames_collided);
   json.key("mean_delivery_latency").value(r.mean_delivery_latency);
+  if (r.forensics.enabled) {
+    json.key("forensics").open('{');
+    json.key("incidents").value(r.forensics.incidents);
+    json.key("isolated_incidents").value(r.forensics.isolated_incidents);
+    json.key("true_positives").value(r.forensics.true_positives);
+    json.key("false_positives").value(r.forensics.false_positives);
+    json.key("precision").value(r.forensics.precision());
+    json.key("mean_detection_latency")
+        .value(r.forensics.mean_detection_latency);
+    json.key("latency_samples").value(r.forensics.latency_samples);
+    json.key("incident_list").open('[');
+    for (const forensics::Incident& inc : r.incidents) {
+      json.open('{');
+      json.key("accused").value(static_cast<std::uint64_t>(inc.accused));
+      json.key("malicious").value(inc.ground_truth_malicious);
+      json.key("isolated").value(inc.isolated());
+      json.key("guards")
+          .value(static_cast<std::uint64_t>(inc.accusing_guards.size()));
+      json.key("detections").value(inc.detections);
+      json.key("detection_latency").value(inc.detection_latency());
+      json.close('}');
+    }
+    json.close(']');
+    json.close('}');
+  }
   json.close('}');
 }
 

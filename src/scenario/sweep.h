@@ -41,6 +41,14 @@ struct SweepSpec {
   /// whichever worker finished the job, under the engine's lock: keep it
   /// cheap and thread-agnostic (e.g. a progress line to stderr).
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Invoked exactly once per finished replica in strict spec order
+  /// (point 0 replica 0, 1, ...; then point 1, ...) regardless of worker
+  /// interleaving, under the engine's lock. The RunResult is mutable so the
+  /// callback can stream-and-clear heavy fields (trace_jsonl) before the
+  /// engine stores the replica: streamed output is byte-identical at any
+  /// thread count. Not called once a job has failed.
+  std::function<void(std::size_t point, std::size_t replica, RunResult&)>
+      drain;
 };
 
 /// One swept point's outputs, in spec order.

@@ -22,6 +22,12 @@ using SeqNo = std::uint64_t;
 /// Globally unique packet instance id (assigned by the packet factory).
 using PacketUid = std::uint64_t;
 
+/// Causal lineage id: assigned when a packet is first created and inherited
+/// by every forwarded/tunneled/replayed copy, so a packet's full hop-by-hop
+/// journey is reconstructible from the event trace alone. Distinct from
+/// PacketUid, which is fresh per physical frame.
+using LineageId = std::uint64_t;
+
 /// Key that identifies one end-to-end control packet for watch-buffer
 /// matching: (origin, sequence number, packet type tag).
 struct FlowKey {

@@ -2,6 +2,8 @@
 // metrics registry, and profiler accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -125,7 +127,7 @@ TEST(TraceWriter, PeerAndValueFieldsAppearWhenSet) {
                    .value = 3.0});
   EXPECT_EQ(out.str(),
             "{\"t\":2.250000000,\"layer\":\"mon\",\"event\":\"suspicion\","
-            "\"node\":1,\"peer\":9,\"value\":3}\n");
+            "\"node\":1,\"peer\":9,\"sus\":\"fab\",\"value\":3}\n");
 }
 
 TEST(TraceWriter, PacketFieldsComeFromThePacket) {
@@ -192,6 +194,83 @@ TEST(Histogram, PercentilesInterpolate) {
   EXPECT_DOUBLE_EQ(s.mean, 2.5);
   EXPECT_NEAR(s.p50, 2.5, 1e-12);
   EXPECT_NEAR(s.p95, 3.85, 1e-12);
+}
+
+/// Deterministic sample stream for the reservoir tests (LCG, not tied to
+/// the histogram's own RNG).
+std::vector<double> synthetic_samples(std::size_t n) {
+  std::vector<double> samples;
+  samples.reserve(n);
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    samples.push_back(static_cast<double>(x >> 11) /
+                      static_cast<double>(1ull << 53));
+  }
+  return samples;
+}
+
+TEST(Histogram, PercentilesBitIdenticalToExactUpToCapacity) {
+  // While count <= capacity the reservoir holds every sample, so the
+  // percentiles must equal (to the last bit) the exact sort-and-interpolate
+  // computation over all inputs — the pre-reservoir behavior.
+  constexpr std::size_t kCapacity = 64;
+  Histogram hist(/*seed=*/123, kCapacity);
+  std::vector<double> samples = synthetic_samples(kCapacity);
+  for (double v : samples) hist.add(v);
+
+  std::sort(samples.begin(), samples.end());
+  const auto exact = [&samples](double p) {
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto index = static_cast<std::size_t>(rank);
+    if (index + 1 >= samples.size()) return samples.back();
+    const double frac = rank - static_cast<double>(index);
+    return samples[index] * (1.0 - frac) + samples[index + 1] * frac;
+  };
+
+  const HistogramSummary s = hist.summary();
+  EXPECT_EQ(s.count, kCapacity);
+  EXPECT_EQ(s.min, samples.front());
+  EXPECT_EQ(s.max, samples.back());
+  EXPECT_EQ(s.p50, exact(50.0));  // bit-identical, not just near
+  EXPECT_EQ(s.p95, exact(95.0));
+}
+
+TEST(Histogram, OverCapacityKeepsExactScalarsAndBoundedMemory) {
+  constexpr std::size_t kCapacity = 32;
+  constexpr std::size_t kSamples = 10000;
+  Histogram hist(/*seed=*/7, kCapacity);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double v = static_cast<double>(i) * 0.5;
+    hist.add(v);
+    sum += v;
+  }
+  const HistogramSummary s = hist.summary();
+  // count/min/max/mean track every sample exactly, reservoir or not.
+  EXPECT_EQ(s.count, kSamples);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kSamples - 1) * 0.5);
+  EXPECT_DOUBLE_EQ(s.mean, sum / static_cast<double>(kSamples));
+  // Percentiles come from the subsample: inside the data range and ordered.
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST(Histogram, SameSeedSameSummaryAcrossInstances) {
+  const std::vector<double> samples = synthetic_samples(500);
+  Histogram a(/*seed=*/42, 16);
+  Histogram b(/*seed=*/42, 16);
+  for (double v : samples) {
+    a.add(v);
+    b.add(v);
+  }
+  const HistogramSummary sa = a.summary();
+  const HistogramSummary sb = b.summary();
+  EXPECT_EQ(sa.p50, sb.p50);
+  EXPECT_EQ(sa.p95, sb.p95);
+  EXPECT_EQ(sa.mean, sb.mean);
 }
 
 TEST(RegistrySink, CountersUseLayerDotEventNames) {

@@ -1,0 +1,404 @@
+// lw-trace: offline analyzer for JSONL event traces (--trace/--trace-out).
+//
+// Subcommands:
+//   stats <file>                 event counts per layer.event, time span,
+//                                run segments, distinct lineages
+//   follow <file> <lineage-id>   every packet event of one lineage, in
+//                                order: the packet's hop-by-hop journey
+//   incidents <file> [--json]    fold the trace into labeled detection
+//                                incidents (same IncidentBuilder the live
+//                                runs use), per run segment
+//   diff <file-a> <file-b>       first byte-level divergence plus
+//                                per-event-count deltas
+//   check <file> [--gamma=N]     lint the trace against the invariants in
+//                                forensics/check.h; exit 1 on violations
+//
+// Exit codes: 0 ok, 1 findings (check violations, diff mismatch, unknown
+// lineage), 2 usage or unreadable/unparseable input.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "forensics/check.h"
+#include "forensics/incident.h"
+#include "forensics/trace_reader.h"
+
+namespace {
+
+using lw::LineageId;
+using lw::NodeId;
+using lw::forensics::CheckIssue;
+using lw::forensics::CheckOptions;
+using lw::forensics::Incident;
+using lw::forensics::IncidentBuilder;
+using lw::forensics::TraceFormatError;
+using lw::forensics::TraceRecord;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lw-trace <command> ...\n"
+      "  stats <file>                per-event counts and trace overview\n"
+      "  follow <file> <lineage-id>  one packet lineage, hop by hop\n"
+      "  incidents <file> [--json]   labeled detection incidents\n"
+      "  diff <file-a> <file-b>      compare two traces\n"
+      "  check <file> [--gamma=N]    lint trace invariants\n");
+  return 2;
+}
+
+std::vector<TraceRecord> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lw-trace: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  try {
+    return lw::forensics::read_trace(in);
+  } catch (const TraceFormatError& e) {
+    std::fprintf(stderr, "lw-trace: %s:%zu: %s\n", path.c_str(), e.line(),
+                 e.what());
+    std::exit(2);
+  }
+}
+
+// ---- stats ----
+
+int cmd_stats(const std::string& path) {
+  const std::vector<TraceRecord> records = load(path);
+  std::size_t runs = 0;
+  std::uint64_t events = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  bool any = false;
+  std::map<std::string, std::uint64_t> per_event;
+  std::set<LineageId> lineages;
+  std::set<NodeId> nodes;
+  for (const TraceRecord& r : records) {
+    if (r.is_run_header) {
+      ++runs;
+      continue;
+    }
+    ++events;
+    if (!any || r.t < t_min) t_min = r.t;
+    if (!any || r.t > t_max) t_max = r.t;
+    any = true;
+    ++per_event[r.layer + "." + r.name];
+    if (r.has_packet) lineages.insert(r.lineage);
+    nodes.insert(r.node);
+  }
+  std::printf("%s\n", path.c_str());
+  std::printf("  run segments      %zu\n", runs);
+  std::printf("  events            %llu\n",
+              static_cast<unsigned long long>(events));
+  if (any) std::printf("  time span         [%.6f, %.6f] s\n", t_min, t_max);
+  std::printf("  nodes seen        %zu\n", nodes.size());
+  std::printf("  packet lineages   %zu\n", lineages.size());
+  std::printf("  events by kind:\n");
+  for (const auto& [name, count] : per_event) {
+    std::printf("    %-20s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
+// ---- follow ----
+
+int cmd_follow(const std::string& path, const std::string& id_text) {
+  char* end = nullptr;
+  const LineageId lineage = std::strtoull(id_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "lw-trace: bad lineage id '%s'\n", id_text.c_str());
+    return 2;
+  }
+  const std::vector<TraceRecord> records = load(path);
+  const std::vector<TraceRecord> chain =
+      lw::forensics::lineage_chain(records, lineage);
+  if (chain.empty()) {
+    std::fprintf(stderr, "lw-trace: lineage %llu not found in %s\n",
+                 static_cast<unsigned long long>(lineage), path.c_str());
+    return 1;
+  }
+  std::set<NodeId> hops;
+  for (const TraceRecord& r : chain) {
+    std::printf("%s\n", lw::forensics::describe(r).c_str());
+    hops.insert(r.node);
+  }
+  std::printf("-- %zu events across %zu nodes, t=[%.6f, %.6f]\n", chain.size(),
+              hops.size(), chain.front().t, chain.back().t);
+  return 0;
+}
+
+// ---- incidents ----
+
+/// One run segment's worth of trace, folded independently: incidents never
+/// bleed across run headers.
+struct Segment {
+  std::string point;
+  std::uint64_t seed = 0;
+  std::vector<Incident> incidents;
+};
+
+std::vector<Segment> fold_incidents(const std::vector<TraceRecord>& records) {
+  std::vector<Segment> segments;
+  auto builder = std::make_unique<IncidentBuilder>();
+  Segment current;  // implicit first segment for header-less traces
+  bool saw_events = false;
+  auto flush = [&] {
+    if (saw_events) {
+      current.incidents = builder->build();
+      segments.push_back(std::move(current));
+    }
+    builder = std::make_unique<IncidentBuilder>();
+    saw_events = false;
+  };
+  for (const TraceRecord& r : records) {
+    if (r.is_run_header) {
+      flush();
+      current = Segment{r.point, r.run_seed, {}};
+      continue;
+    }
+    saw_events = true;
+    if (r.kind_known) builder->on_event(r.to_event());
+  }
+  flush();
+  return segments;
+}
+
+void print_incident_text(const Incident& inc) {
+  std::printf("  accused %-4u %-9s %s  guards=%zu [", inc.accused,
+              inc.ground_truth_malicious ? "MALICIOUS" : "honest",
+              inc.isolated() ? "ISOLATED" : "detected",
+              inc.accusing_guards.size());
+  for (std::size_t i = 0; i < inc.accusing_guards.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ",", inc.accusing_guards[i]);
+  }
+  std::printf("]  sus(fab/drop)=%llu/%llu det=%llu alerts=%llu iso=%llu",
+              static_cast<unsigned long long>(inc.suspicions_fabrication),
+              static_cast<unsigned long long>(inc.suspicions_drop),
+              static_cast<unsigned long long>(inc.detections),
+              static_cast<unsigned long long>(inc.alerts),
+              static_cast<unsigned long long>(inc.isolations));
+  std::printf("  peak_malc=%.9g", inc.peak_malc);
+  if (inc.first_malicious_act >= 0.0) {
+    std::printf("  first_act=%.6f", inc.first_malicious_act);
+  }
+  if (inc.first_detection >= 0.0) {
+    std::printf("  first_detection=%.6f", inc.first_detection);
+  }
+  if (inc.first_isolation >= 0.0) {
+    std::printf("  first_isolation=%.6f", inc.first_isolation);
+  }
+  if (inc.detection_latency() >= 0.0) {
+    std::printf("  latency=%.6f", inc.detection_latency());
+  }
+  std::printf("  %s\n", inc.ground_truth_malicious ? "TRUE-POSITIVE"
+                                                   : "FALSE-POSITIVE");
+}
+
+void print_incident_json(const Incident& inc, bool last) {
+  std::printf("    {\"accused\":%u,\"malicious\":%s,\"isolated\":%s",
+              inc.accused, inc.ground_truth_malicious ? "true" : "false",
+              inc.isolated() ? "true" : "false");
+  std::printf(",\"guards\":[");
+  for (std::size_t i = 0; i < inc.accusing_guards.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ",", inc.accusing_guards[i]);
+  }
+  std::printf("],\"suspicions_fabrication\":%llu,\"suspicions_drop\":%llu",
+              static_cast<unsigned long long>(inc.suspicions_fabrication),
+              static_cast<unsigned long long>(inc.suspicions_drop));
+  std::printf(",\"detections\":%llu,\"alerts\":%llu,\"isolations\":%llu",
+              static_cast<unsigned long long>(inc.detections),
+              static_cast<unsigned long long>(inc.alerts),
+              static_cast<unsigned long long>(inc.isolations));
+  std::printf(",\"peak_malc\":%.9g", inc.peak_malc);
+  std::printf(",\"first_malicious_act\":%.6f,\"first_detection\":%.6f",
+              inc.first_malicious_act, inc.first_detection);
+  std::printf(",\"first_isolation\":%.6f,\"detection_latency\":%.6f}%s\n",
+              inc.first_isolation, inc.detection_latency(), last ? "" : ",");
+}
+
+int cmd_incidents(const std::string& path, bool json) {
+  const std::vector<Segment> segments = fold_incidents(load(path));
+  if (json) {
+    std::printf("[\n");
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const Segment& segment = segments[s];
+      std::printf("  {\"point\":\"%s\",\"seed\":%llu,\"incidents\":[\n",
+                  segment.point.c_str(),
+                  static_cast<unsigned long long>(segment.seed));
+      for (std::size_t i = 0; i < segment.incidents.size(); ++i) {
+        print_incident_json(segment.incidents[i],
+                            i + 1 == segment.incidents.size());
+      }
+      std::printf("  ]}%s\n", s + 1 == segments.size() ? "" : ",");
+    }
+    std::printf("]\n");
+    return 0;
+  }
+  for (const Segment& segment : segments) {
+    const auto summary = IncidentBuilder::summarize(segment.incidents);
+    std::printf("== run point=%s seed=%llu ==\n", segment.point.c_str(),
+                static_cast<unsigned long long>(segment.seed));
+    for (const Incident& inc : segment.incidents) print_incident_text(inc);
+    std::printf(
+        "  %llu incident(s), %llu isolated, %llu TP / %llu FP "
+        "(precision %.3f)",
+        static_cast<unsigned long long>(summary.incidents),
+        static_cast<unsigned long long>(summary.isolated_incidents),
+        static_cast<unsigned long long>(summary.true_positives),
+        static_cast<unsigned long long>(summary.false_positives),
+        summary.precision());
+    if (summary.latency_samples > 0) {
+      std::printf(", mean detection latency %.6f s over %llu",
+                  summary.mean_detection_latency,
+                  static_cast<unsigned long long>(summary.latency_samples));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// ---- diff ----
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  std::ifstream a(path_a);
+  std::ifstream b(path_b);
+  if (!a || !b) {
+    std::fprintf(stderr, "lw-trace: cannot read %s\n",
+                 (!a ? path_a : path_b).c_str());
+    return 2;
+  }
+  std::string line_a;
+  std::string line_b;
+  std::size_t line_no = 0;
+  std::size_t first_divergence = 0;
+  std::map<std::string, std::int64_t> deltas;
+  auto tally = [&deltas](const std::string& line, std::size_t no, int sign) {
+    TraceRecord record;
+    try {
+      if (lw::forensics::parse_trace_line(line, no, &record) &&
+          !record.is_run_header) {
+        deltas[record.layer + "." + record.name] += sign;
+      }
+    } catch (const TraceFormatError&) {
+      deltas["(unparseable)"] += sign;
+    }
+  };
+  while (true) {
+    const bool more_a = static_cast<bool>(std::getline(a, line_a));
+    const bool more_b = static_cast<bool>(std::getline(b, line_b));
+    if (!more_a && !more_b) break;
+    ++line_no;
+    if (more_a) tally(line_a, line_no, +1);
+    if (more_b) tally(line_b, line_no, -1);
+    if (first_divergence == 0 && (!more_a || !more_b || line_a != line_b)) {
+      first_divergence = line_no;
+      std::printf("first divergence at line %zu:\n", line_no);
+      std::printf("  a: %s\n", more_a ? line_a.c_str() : "<end of file>");
+      std::printf("  b: %s\n", more_b ? line_b.c_str() : "<end of file>");
+    }
+  }
+  if (first_divergence == 0) {
+    std::printf("traces identical (%zu lines)\n", line_no);
+    return 0;
+  }
+  std::printf("event-count deltas (a minus b):\n");
+  bool any_delta = false;
+  for (const auto& [name, delta] : deltas) {
+    if (delta == 0) continue;
+    any_delta = true;
+    std::printf("  %-20s %+lld\n", name.c_str(),
+                static_cast<long long>(delta));
+  }
+  if (!any_delta) std::printf("  (same event counts; contents differ)\n");
+  return 1;
+}
+
+// ---- check ----
+
+int cmd_check(const std::string& path, int gamma) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lw-trace: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  // Parse line by line so a corrupted line becomes a finding (invariant 5)
+  // instead of aborting the lint.
+  std::vector<TraceRecord> records;
+  std::vector<CheckIssue> issues;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    TraceRecord record;
+    try {
+      if (lw::forensics::parse_trace_line(line, line_no, &record)) {
+        records.push_back(std::move(record));
+      }
+    } catch (const TraceFormatError& e) {
+      issues.push_back({line_no, e.what()});
+    }
+  }
+  CheckOptions options;
+  options.gamma = gamma;
+  std::vector<CheckIssue> lint = lw::forensics::check_trace(records, options);
+  issues.insert(issues.end(), lint.begin(), lint.end());
+  for (const CheckIssue& issue : issues) {
+    std::printf("%s:%zu: %s\n", path.c_str(), issue.line,
+                issue.message.c_str());
+  }
+  if (!issues.empty()) {
+    std::printf("%zu violation(s)\n", issues.size());
+    return 1;
+  }
+  std::printf("OK: %zu records, no violations\n", records.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  std::vector<std::string> positional;
+  bool json = false;
+  int gamma = 3;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--gamma=", 0) == 0) {
+      gamma = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "lw-trace: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (command == "stats" && positional.size() == 1) {
+    return cmd_stats(positional[0]);
+  }
+  if (command == "follow" && positional.size() == 2) {
+    return cmd_follow(positional[0], positional[1]);
+  }
+  if (command == "incidents" && positional.size() == 1) {
+    return cmd_incidents(positional[0], json);
+  }
+  if (command == "diff" && positional.size() == 2) {
+    return cmd_diff(positional[0], positional[1]);
+  }
+  if (command == "check" && positional.size() == 1) {
+    return cmd_check(positional[0], gamma);
+  }
+  return usage();
+}
