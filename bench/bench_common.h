@@ -18,8 +18,18 @@
 //   --profile    collect run profiles; adds per-point profiler totals and
 //                a "timing" section to the sweep JSON, and a summary on
 //                stderr
+//   --run-timeout=S  per-replica wall-clock watchdog: a run still executing
+//                after S real seconds is aborted and reported as a failed
+//                replica instead of hanging the worker pool (0 = off)
 //   --quiet      suppress the stderr progress line (on by default when
 //                stderr is a TTY)
+//
+// Sweep benches also install SIGINT/SIGTERM handlers: the first signal
+// cancels the sweep cooperatively (jobs not yet started are skipped,
+// in-flight runs finish and drain, --json / --trace-out output stays
+// complete and parseable, with an "interrupted" marker in the JSON); a
+// second signal falls through to the default handler and kills the
+// process.
 // plus its own flags, all parsed through lw::Config. Mistyped flags make
 // the bench exit non-zero with a message BEFORE any simulation runs
 // (finish(), called once right after flag parsing and once at exit).
@@ -30,6 +40,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -56,6 +67,8 @@ struct Common {
   std::uint32_t trace_layers = lw::obs::kAllLayers;
   bool profile = false;
   bool quiet = false;
+  /// Per-replica wall-clock watchdog in seconds; 0 disables.
+  double run_timeout = 0.0;
 };
 
 inline Common parse_common(const lw::Config& args, int default_runs,
@@ -74,6 +87,7 @@ inline Common parse_common(const lw::Config& args, int default_runs,
   }
   common.profile = args.get_bool("profile", false);
   common.quiet = args.get_bool("quiet", false);
+  common.run_timeout = args.get_double("run-timeout", 0.0);
   const std::string filter = args.get_string("trace-filter", "all");
   try {
     common.trace_layers = lw::obs::parse_layer_mask(filter);
@@ -99,9 +113,30 @@ inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
   spec.base.obs.profile = common.profile;
   spec.base.obs.counters = common.profile || tracing;
   spec.base.obs.forensics = tracing;
+  spec.run_timeout_seconds = common.run_timeout;
 }
 
 namespace detail {
+
+/// Cooperative-cancellation flag shared with the sweep engine; set by the
+/// first SIGINT/SIGTERM.
+inline volatile std::sig_atomic_t g_cancel = 0;
+
+extern "C" inline void handle_cancel_signal(int signum) {
+  g_cancel = 1;
+  // One chance to finish cleanly; a second signal kills the process.
+  std::signal(signum, SIG_DFL);
+}
+
+/// Installs the handlers once per process (safe to call repeatedly).
+inline void install_cancel_handlers() {
+  static const bool installed = [] {
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
+    return true;
+  }();
+  (void)installed;
+}
 
 /// Stderr progress line with ETA; enabled by default on a TTY, suppressed
 /// by --quiet. Returns an empty function when disabled.
@@ -147,6 +182,9 @@ inline void write_trace(const Common& common,
   }
   for (const auto& point : result.points) {
     for (const auto& replica : point.replicas) {
+      // Failed replicas (cancelled / timed out) produced no trace; writing
+      // their headers would fake empty runs.
+      if (replica.failed) continue;
       out << "{\"run\":{\"point\":\"" << json_escape(point.label)
           << "\",\"seed\":" << replica.seed << "}}\n";
       out << replica.trace_jsonl;
@@ -192,6 +230,8 @@ inline lw::scenario::SweepResult run_sweep(const Common& common,
                                            lw::scenario::SweepSpec spec) {
   apply(common, spec);
   spec.progress = detail::make_progress(common);
+  detail::install_cancel_handlers();
+  spec.cancel = &detail::g_cancel;
   std::ofstream stream_out;
   if (!common.trace_out_file.empty()) {
     stream_out.open(common.trace_out_file);
@@ -217,6 +257,12 @@ inline lw::scenario::SweepResult run_sweep(const Common& common,
   lw::scenario::SweepResult result = lw::scenario::run_sweep(spec);
   if (!common.trace_file.empty()) detail::write_trace(common, result);
   if (common.profile) detail::print_profile(result);
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "sweep interrupted: %zu job(s) skipped; completed points "
+                 "flushed\n",
+                 result.jobs_skipped);
+  }
   return result;
 }
 

@@ -1,0 +1,90 @@
+#include "fault/injector.h"
+
+#include "util/logging.h"
+
+namespace lw::fault {
+
+Injector::Injector(sim::Simulator& simulator, obs::Recorder* recorder,
+                   const FaultPlan& plan, FaultHost& host)
+    : simulator_(simulator), recorder_(recorder), plan_(plan), host_(host) {}
+
+void Injector::emit(obs::EventKind kind, NodeId node, NodeId peer,
+                    double value) {
+  if (recorder_ == nullptr || !recorder_->wants(obs::Layer::kFault)) return;
+  obs::Event event;
+  event.t = simulator_.now();
+  event.kind = kind;
+  event.node = node;
+  event.peer = peer;
+  event.value = value;
+  recorder_->emit(event);
+}
+
+void Injector::arm() {
+  if (armed_ || plan_.empty()) return;
+  armed_ = true;
+
+  for (const CrashFault& crash : plan_.crashes) {
+    simulator_.schedule_at(crash.at, [this, crash] {
+      LW_INFO << "fault: node " << crash.node << " crashed at t="
+              << simulator_.now();
+      host_.crash_node(crash.node);
+      emit(obs::EventKind::kFltCrash, crash.node, kInvalidNode,
+           crash.recover_at);
+    });
+    if (crash.recover_at >= 0.0) {
+      simulator_.schedule_at(crash.recover_at, [this, crash] {
+        LW_INFO << "fault: node " << crash.node << " recovered at t="
+                << simulator_.now();
+        host_.recover_node(crash.node);
+        emit(obs::EventKind::kFltRecover, crash.node, kInvalidNode,
+             simulator_.now() - crash.at);
+      });
+    }
+  }
+
+  for (const LinkFault& link : plan_.links) {
+    simulator_.schedule_at(link.from, [this, link] {
+      host_.set_link_fault(link.a, link.b, link.extra_loss);
+      emit(obs::EventKind::kFltLinkDown, link.a, link.b, link.extra_loss);
+    });
+    simulator_.schedule_at(link.until, [this, link] {
+      host_.clear_link_fault(link.a, link.b);
+      emit(obs::EventKind::kFltLinkUp, link.a, link.b, 0.0);
+    });
+  }
+
+  for (const FramingFault& framing : plan_.framings) {
+    simulator_.schedule_at(framing.start, [this, framing] {
+      // Guard selection is deferred to compromise time so a crashed
+      // neighbor is never conscripted; the host's pick is deterministic.
+      const std::vector<NodeId> guards =
+          host_.framing_guards(framing.victim, framing.guards);
+      if (guards.size() < framing.guards) {
+        LW_WARN << "fault: framing of node " << framing.victim
+                << " wanted " << framing.guards << " guards, found only "
+                << guards.size();
+      }
+      for (NodeId guard : guards) {
+        for (int shot = 0; shot < framing.alerts_per_guard; ++shot) {
+          const Duration delay = static_cast<double>(shot) * framing.gap;
+          simulator_.schedule(delay, [this, guard, framing] {
+            host_.emit_false_alert(guard, framing.victim);
+            emit(obs::EventKind::kFltFrame, guard, framing.victim, 0.0);
+          });
+        }
+      }
+    });
+  }
+
+  for (const CorruptionFault& corruption : plan_.corruptions) {
+    simulator_.schedule_at(corruption.from, [this, corruption] {
+      host_.set_corruption(corruption.node, corruption.probability);
+    });
+    simulator_.schedule_at(corruption.until, [this, corruption] {
+      host_.clear_corruption(corruption.node);
+    });
+  }
+}
+
+}  // namespace lw::fault

@@ -1,0 +1,76 @@
+// Fault injector: turns a FaultPlan into ordinary simulator events.
+//
+// The injector knows the schedule; the host (scenario::Network) knows how
+// to actually hurt the system — power a node down, wipe its stack, open a
+// link outage in the medium, have a compromised guard emit a false alert.
+// This split keeps the fault library free of any dependency on the node /
+// scenario layers: it links only against sim and obs.
+//
+// Every injected fault is announced as an obs event on Layer::kFault
+// (flt.crash / flt.recover / flt.link_down / flt.link_up / flt.frame), the
+// ground-truth anchors the forensic tooling classifies against — exactly
+// how atk.spawn anchors attack incidents today.
+#pragma once
+
+#include <vector>
+
+#include "fault/plan.h"
+#include "obs/recorder.h"
+#include "sim/simulator.h"
+
+namespace lw::fault {
+
+/// The mutation surface the injector drives. Implemented by the scenario
+/// layer (Network).
+class FaultHost {
+ public:
+  virtual ~FaultHost() = default;
+
+  /// Powers `node` down: radio silenced, timers dead, state wiped.
+  virtual void crash_node(NodeId node) = 0;
+
+  /// Reboots `node`; it re-enters through the dynamic-join path.
+  virtual void recover_node(NodeId node) = 0;
+
+  /// Opens a per-link outage window (extra_loss of 1 is a hard outage).
+  virtual void set_link_fault(NodeId a, NodeId b, double extra_loss) = 0;
+  virtual void clear_link_fault(NodeId a, NodeId b) = 0;
+
+  /// Opens / closes an inbound-corruption window at `node`.
+  virtual void set_corruption(NodeId node, double probability) = 0;
+  virtual void clear_corruption(NodeId node) = 0;
+
+  /// The guards the framing fault compromises: up to `count` honest
+  /// neighbors of `victim`, deterministically ordered (ascending id).
+  virtual std::vector<NodeId> framing_guards(NodeId victim,
+                                             std::size_t count) const = 0;
+
+  /// Has compromised `guard` emit one authenticated false alert accusing
+  /// `victim`.
+  virtual void emit_false_alert(NodeId guard, NodeId victim) = 0;
+};
+
+/// Schedules every fault in `plan` into `simulator`. An empty plan
+/// schedules nothing at all — the zero-cost-when-disabled contract.
+class Injector {
+ public:
+  /// `recorder` may be null (no flt.* events are emitted then). All
+  /// references must outlive the injector; the injector must outlive the
+  /// simulation (scheduled lambdas capture it).
+  Injector(sim::Simulator& simulator, obs::Recorder* recorder,
+           const FaultPlan& plan, FaultHost& host);
+
+  /// Schedules all fault events. Call once, before the run starts.
+  void arm();
+
+ private:
+  void emit(obs::EventKind kind, NodeId node, NodeId peer, double value);
+
+  sim::Simulator& simulator_;
+  obs::Recorder* recorder_;
+  const FaultPlan& plan_;
+  FaultHost& host_;
+  bool armed_ = false;
+};
+
+}  // namespace lw::fault

@@ -1,0 +1,146 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace lw::fault {
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("FaultPlan: " + what);
+}
+
+void check_node(const char* role, NodeId node, std::size_t node_count,
+                std::size_t entry) {
+  if (node < node_count) return;
+  std::ostringstream out;
+  out << role << " entry " << entry << " references node " << node
+      << " but the network only has nodes 0.." << node_count - 1;
+  reject(out.str());
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t node_count) const {
+  if (node_count == 0 && !empty()) {
+    reject("non-empty plan for an empty network");
+  }
+  if (neighbor_age_timeout <= 0.0) {
+    reject("neighbor_age_timeout must be positive");
+  }
+  if (neighbor_age_sweep_interval <= 0.0) {
+    reject("neighbor_age_sweep_interval must be positive");
+  }
+
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const CrashFault& crash = crashes[i];
+    check_node("crash", crash.node, node_count, i);
+    if (crash.at < 0.0) {
+      std::ostringstream out;
+      out << "crash entry " << i << " (node " << crash.node
+          << ") has negative crash time " << crash.at;
+      reject(out.str());
+    }
+    if (crash.recover_at >= 0.0 && crash.recover_at <= crash.at) {
+      std::ostringstream out;
+      out << "crash entry " << i << " (node " << crash.node
+          << ") recovers at " << crash.recover_at
+          << " which is not after its crash at " << crash.at
+          << " (use recover_at < 0 for a permanent crash)";
+      reject(out.str());
+    }
+    // Overlap check against every other crash window of the same node:
+    // window i is [at, recover_at) or [at, inf) when permanent.
+    for (std::size_t j = i + 1; j < crashes.size(); ++j) {
+      const CrashFault& other = crashes[j];
+      if (other.node != crash.node) continue;
+      const double end_i =
+          crash.recover_at < 0.0 ? std::numeric_limits<double>::infinity()
+                                 : crash.recover_at;
+      const double end_j =
+          other.recover_at < 0.0 ? std::numeric_limits<double>::infinity()
+                                 : other.recover_at;
+      if (std::max(crash.at, other.at) < std::min(end_i, end_j)) {
+        std::ostringstream out;
+        out << "crash entries " << i << " and " << j
+            << " overlap on node " << crash.node
+            << " (a node cannot crash while already down; stagger the "
+               "windows)";
+        reject(out.str());
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const LinkFault& link = links[i];
+    check_node("link", link.a, node_count, i);
+    check_node("link", link.b, node_count, i);
+    if (link.a == link.b) {
+      std::ostringstream out;
+      out << "link entry " << i << " connects node " << link.a
+          << " to itself";
+      reject(out.str());
+    }
+    if (link.from < 0.0 || link.until <= link.from) {
+      std::ostringstream out;
+      out << "link entry " << i << " has an empty or negative window ["
+          << link.from << ", " << link.until << ")";
+      reject(out.str());
+    }
+    if (link.extra_loss <= 0.0 || link.extra_loss > 1.0) {
+      std::ostringstream out;
+      out << "link entry " << i << " extra_loss " << link.extra_loss
+          << " must be in (0, 1] (1 = hard outage)";
+      reject(out.str());
+    }
+  }
+
+  for (std::size_t i = 0; i < framings.size(); ++i) {
+    const FramingFault& framing = framings[i];
+    check_node("framing", framing.victim, node_count, i);
+    if (framing.guards == 0) {
+      std::ostringstream out;
+      out << "framing entry " << i << " compromises zero guards";
+      reject(out.str());
+    }
+    if (framing.start < 0.0) {
+      std::ostringstream out;
+      out << "framing entry " << i << " has negative start time "
+          << framing.start;
+      reject(out.str());
+    }
+    if (framing.alerts_per_guard < 1) {
+      std::ostringstream out;
+      out << "framing entry " << i << " must send at least one alert per "
+          << "guard";
+      reject(out.str());
+    }
+    if (framing.gap < 0.0) {
+      std::ostringstream out;
+      out << "framing entry " << i << " has negative alert gap "
+          << framing.gap;
+      reject(out.str());
+    }
+  }
+
+  for (std::size_t i = 0; i < corruptions.size(); ++i) {
+    const CorruptionFault& corruption = corruptions[i];
+    check_node("corruption", corruption.node, node_count, i);
+    if (corruption.from < 0.0 || corruption.until <= corruption.from) {
+      std::ostringstream out;
+      out << "corruption entry " << i << " has an empty or negative window ["
+          << corruption.from << ", " << corruption.until << ")";
+      reject(out.str());
+    }
+    if (corruption.probability <= 0.0 || corruption.probability > 1.0) {
+      std::ostringstream out;
+      out << "corruption entry " << i << " probability "
+          << corruption.probability << " must be in (0, 1]";
+      reject(out.str());
+    }
+  }
+}
+
+}  // namespace lw::fault

@@ -17,6 +17,12 @@ struct SegmentState {
   std::map<NodeId, std::set<NodeId>> alert_guards;
   /// (isolating node, accused) pairs already isolated.
   std::set<std::pair<NodeId, NodeId>> isolated;
+  /// Nodes currently inside a crash window (flt.crash .. flt.recover).
+  std::set<NodeId> crashed;
+  /// Ground-truth malicious nodes (atk.spawn actors).
+  std::set<NodeId> spawned;
+  /// victim -> compromised guards that framed it (flt.frame).
+  std::map<NodeId, std::set<NodeId>> framers;
 };
 
 }  // namespace
@@ -47,6 +53,35 @@ std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
     state.any_event = true;
 
     switch (record.kind) {
+      case obs::EventKind::kPhyTx:
+        // Invariant 6: a crashed node's radio is silent — any transmission
+        // between its flt.crash and flt.recover was produced by a stale
+        // timer the crash failed to disarm.
+        if (state.crashed.count(record.node) != 0) {
+          issues.push_back(
+              {record.line, "node " + std::to_string(record.node) +
+                                " transmits while crashed"});
+        }
+        break;
+
+      case obs::EventKind::kFltCrash:
+        state.crashed.insert(record.node);
+        break;
+
+      case obs::EventKind::kFltRecover:
+        state.crashed.erase(record.node);
+        break;
+
+      case obs::EventKind::kAtkSpawn:
+        state.spawned.insert(record.node);
+        break;
+
+      case obs::EventKind::kFltFrame:
+        if (record.peer != kInvalidNode) {
+          state.framers[record.peer].insert(record.node);
+        }
+        break;
+
       case obs::EventKind::kRouteForward:
         if (record.has_packet) state.forwarded.insert(record.lineage);
         if (record.peer != kInvalidNode &&
@@ -94,6 +129,22 @@ std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
                "isolation of " + std::to_string(accused) + " with only " +
                    std::to_string(distinct) + " distinct accusing guards (gamma=" +
                    std::to_string(options.gamma) + ")"});
+        }
+        // Invariant 7 (the gamma defense): an honest node that compromised
+        // guards tried to frame may only end up isolated when at least
+        // gamma guards were compromised — fewer than gamma framers must
+        // never convict, no matter how noisy the channel.
+        const auto framed = state.framers.find(accused);
+        if (options.gamma > 0 && state.spawned.count(accused) == 0 &&
+            framed != state.framers.end() &&
+            framed->second.size() < static_cast<std::size_t>(options.gamma)) {
+          issues.push_back(
+              {record.line,
+               "isolation of honest node " + std::to_string(accused) +
+                   " framed by only " + std::to_string(framed->second.size()) +
+                   " compromised guard(s) (gamma=" +
+                   std::to_string(options.gamma) +
+                   "): the gamma defense failed"});
         }
         state.isolated.insert({record.node, accused});
         break;

@@ -14,6 +14,11 @@
 //   4. A node never route.forwards to a peer after isolating that peer
 //      ("never send to a revoked node").
 //   5. Every line parses and names a known layer/event pair.
+//   6. A node never phy.tx-es inside one of its crash windows
+//      (flt.crash .. flt.recover) — crashed radios are silent.
+//   7. An honest node framed by compromised guards (flt.frame ground
+//      truth) is never isolated while fewer than gamma guards are
+//      compromised: the paper's gamma defense, machine-checked.
 #pragma once
 
 #include <cstdint>

@@ -16,6 +16,12 @@ void IncidentBuilder::on_event(const obs::Event& event) {
       first_act_.try_emplace(event.node, event.t);
       return;
 
+    case obs::EventKind::kFltFrame:
+      // Fault ground truth mirroring atk.spawn: node is the compromised
+      // guard, peer the honest victim it falsely accused.
+      framed_[event.peer].insert(event.node);
+      return;
+
     case obs::EventKind::kMonSuspicion:
     case obs::EventKind::kMonDetection:
     case obs::EventKind::kMonAlert:
@@ -72,13 +78,22 @@ std::vector<Incident> IncidentBuilder::build() const {
   std::vector<Incident> incidents;
   for (const auto& [accused, incident] : state_) {
     // Suspicion-only accusations never convicted anyone; an incident needs
-    // at least a local detection (MalC crossed C_t) or an isolation.
-    if (incident.detections == 0 && incident.isolations == 0) continue;
+    // at least a local detection (MalC crossed C_t) or an isolation — or
+    // framing ground truth: a victim of compromised guards is on record
+    // even when the gamma bar absorbed the false alerts.
+    if (incident.detections == 0 && incident.isolations == 0 &&
+        framed_.find(accused) == framed_.end()) {
+      continue;
+    }
     Incident labeled = incident;
     labeled.ground_truth_malicious = malicious_.count(accused) != 0;
     auto act = first_act_.find(accused);
     labeled.first_malicious_act =
         act == first_act_.end() ? -1.0 : act->second;
+    if (auto framed = framed_.find(accused); framed != framed_.end()) {
+      labeled.framed = true;
+      labeled.framers.assign(framed->second.begin(), framed->second.end());
+    }
     incidents.push_back(std::move(labeled));
   }
   return incidents;
@@ -96,6 +111,10 @@ ForensicsSummary IncidentBuilder::summarize(
       ++summary.true_positives;
     } else {
       ++summary.false_positives;
+      if (incident.framed) {
+        ++summary.framed_accusations;
+        if (incident.isolated()) ++summary.framed_isolations;
+      }
     }
     const double latency = incident.detection_latency();
     if (incident.true_positive() && latency >= 0.0) {

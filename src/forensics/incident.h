@@ -49,6 +49,13 @@ struct Incident {
   /// First tunnel/replay/drop by the accused; negative when it never acted.
   Time first_malicious_act = -1.0;
 
+  // ---- Fault ground truth (flt layer) ----
+  /// True when compromised guards sent false alerts about the accused
+  /// (flt.frame anchors, mirroring atk.spawn for the attack layer).
+  bool framed = false;
+  /// Distinct compromised guards that framed the accused, ascending.
+  std::vector<NodeId> framers;
+
   // ---- Evidence timeline ----
   Time first_suspicion = -1.0;
   /// First guard whose MalC crossed C_t (mon.detection).
@@ -73,6 +80,13 @@ struct Incident {
 
   bool isolated() const { return isolations > 0; }
   bool true_positive() const { return ground_truth_malicious; }
+  /// Three-way classification: "true" (accused really is malicious),
+  /// "framed" (honest accused, accusations manufactured by compromised
+  /// guards), "false" (honest accused, organic false suspicion).
+  const char* label() const {
+    if (ground_truth_malicious) return "true";
+    return framed ? "framed" : "false";
+  }
   /// Time from the accused's first malicious act to its first isolation;
   /// negative when either end is missing.
   double detection_latency() const {
@@ -91,6 +105,11 @@ struct ForensicsSummary {
   std::uint64_t isolated_incidents = 0;
   std::uint64_t true_positives = 0;
   std::uint64_t false_positives = 0;
+  /// Subset of false positives manufactured by guard framing (flt.frame
+  /// ground truth); the paper's gamma bar should keep the *isolated*
+  /// subset of these at zero while framers < gamma.
+  std::uint64_t framed_accusations = 0;
+  std::uint64_t framed_isolations = 0;
   /// Mean first-malicious-act -> first-isolation latency over true
   /// positives that acted and were isolated.
   double mean_detection_latency = 0.0;
@@ -104,8 +123,9 @@ struct ForensicsSummary {
   }
 };
 
-/// EventSink folding monitor + attack events into Incidents. Subscribe it
-/// to layer_bit(kMonitor) | layer_bit(kAttack); other layers are ignored.
+/// EventSink folding monitor + attack + fault events into Incidents.
+/// Subscribe it to layer_bit(kMonitor) | layer_bit(kAttack) |
+/// layer_bit(kFault); other layers are ignored.
 class IncidentBuilder final : public obs::EventSink {
  public:
   void on_event(const obs::Event& event) override;
@@ -125,6 +145,8 @@ class IncidentBuilder final : public obs::EventSink {
   std::set<NodeId> malicious_;
   /// First non-spawn attack act per malicious node.
   std::map<NodeId, Time> first_act_;
+  /// Fault ground truth: victim -> compromised guards that framed it.
+  std::map<NodeId, std::set<NodeId>> framed_;
 };
 
 }  // namespace lw::forensics

@@ -217,7 +217,9 @@ void LocalMonitor::detect_and_alert(NodeId suspect) {
   send_alert(suspect);
   for (int repeat = 1; repeat < params_.alert_repeats; ++repeat) {
     env_.simulator().schedule(repeat * params_.alert_repeat_gap,
-                              [this, suspect] { send_alert(suspect); });
+                              [this, suspect, epoch = epoch_] {
+                                if (epoch == epoch_) send_alert(suspect);
+                              });
   }
 }
 
@@ -248,6 +250,27 @@ void LocalMonitor::send_alert(NodeId suspect) {
              .peer = suspect});
   }
   env_.send(std::move(alert), {.flood_jitter = true});
+}
+
+void LocalMonitor::emit_false_alert(NodeId victim) {
+  if (!params_.enabled) return;
+  // The framing guard behaves exactly like a detecting guard on the wire —
+  // same recipients, same per-recipient tags, same flooding — just without
+  // any evidence. It does NOT revoke the victim locally: a lone framer
+  // keeps routing through its victim, hoping gamma-1 peers join in.
+  send_alert(victim);
+}
+
+void LocalMonitor::reset() {
+  ++epoch_;
+  watch_.clear();
+  malc_.clear();
+  detected_.clear();
+  isolated_.clear();
+  alert_buffer_.clear();
+  suspected_.clear();
+  seen_alerts_.clear();
+  last_alert_.clear();
 }
 
 void LocalMonitor::handle_alert(const pkt::Packet& packet) {

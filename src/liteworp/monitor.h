@@ -126,6 +126,17 @@ class LocalMonitor {
   /// Handles an ALERT frame (verification, counting, isolation, relay).
   void handle_alert(const pkt::Packet& packet);
 
+  /// Compromised-guard behavior (fault injection): emits one authenticated
+  /// ALERT accusing `victim` with NO local evidence behind it. The tags
+  /// are genuine — the guard's keys really are compromised — so receivers
+  /// verify it; the gamma threshold is what must hold the line.
+  void emit_false_alert(NodeId victim);
+
+  /// Wipes all monitoring state (node crash): watch buffer, MalC, alert
+  /// buffer, dedupe sets. Pending alert-repeat events are disarmed via an
+  /// epoch check so a rebooted guard never accuses from pre-crash memory.
+  void reset();
+
   double malc(NodeId suspect) const;
   bool locally_detected(NodeId suspect) const {
     return detected_.count(suspect) != 0;
@@ -178,6 +189,8 @@ class LocalMonitor {
   /// Last (re)alert time per detected node (rate limiting).
   std::unordered_map<NodeId, Time> last_alert_;
   SeqNo alert_seq_ = 0;
+  /// Bumped by reset(); disarms scheduled alert repeats from before a crash.
+  int epoch_ = 0;
 };
 
 }  // namespace lw::lite

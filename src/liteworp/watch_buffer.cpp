@@ -88,6 +88,17 @@ std::size_t WatchBuffer::clear_drop_watches_to(NodeId to) {
   return cleared;
 }
 
+void WatchBuffer::clear() {
+  for (auto& [key, watch] : watches_) {
+    (void)key;
+    watch.expiry.cancel();
+  }
+  watches_.clear();
+  transmits_.clear();
+  transmit_pairs_ = 0;
+  purge_tick_ = 0;
+}
+
 void WatchBuffer::purge_transmits(Time now) {
   // Amortized: full sweep every 256 insertions once the table is non-tiny.
   // The cadence only bounds stale-entry memory (records are expiry-checked

@@ -104,6 +104,11 @@ class WatchBuffer {
     return 20 * (transmit_pairs_ + watches_.size());
   }
 
+  /// Drops every record and cancels every armed drop-watch expiry (the
+  /// guard crashed; a post-reboot accusation from pre-crash state would be
+  /// a false positive). peak_entries is preserved for the cost report.
+  void clear();
+
  private:
   struct DropWatch {
     Time deadline;

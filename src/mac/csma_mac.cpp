@@ -38,7 +38,9 @@ void CsmaMac::send(pkt::Packet packet, SendOptions options) {
   const bool jitter = options.flood_jitter && !options.skip_backoff;
   if (jitter) {
     Duration delay = rng_.uniform(0.0, params_.flood_jitter_max);
-    simulator_.schedule(delay, [this, outgoing = std::move(outgoing)]() mutable {
+    simulator_.schedule(delay, [this, epoch = epoch_,
+                                outgoing = std::move(outgoing)]() mutable {
+      if (epoch != epoch_) return;  // MAC was reset (crash) meanwhile
       enqueue(std::move(outgoing), /*front=*/false);
     });
   } else {
@@ -108,7 +110,8 @@ void CsmaMac::pump() {
                          .value = backoff,
                          .packet = &head.packet});
       }
-      simulator_.schedule(backoff, [this] {
+      simulator_.schedule(backoff, [this, epoch = epoch_] {
+        if (epoch != epoch_) return;
         retry_scheduled_ = false;
         pump();
       });
@@ -154,7 +157,9 @@ void CsmaMac::transmit_now(Outgoing outgoing) {
   if (in_flight_) {
     // The air is ours conceptually but a frame is still leaving the
     // radio; retry as soon as it is done.
-    simulator_.schedule(0.002, [this, outgoing = std::move(outgoing)]() mutable {
+    simulator_.schedule(0.002, [this, epoch = epoch_,
+                                outgoing = std::move(outgoing)]() mutable {
+      if (epoch != epoch_) return;
       transmit_now(std::move(outgoing));
     });
     return;
@@ -166,7 +171,9 @@ void CsmaMac::transmit_now(Outgoing outgoing) {
 }
 
 void CsmaMac::on_tx_done() {
-  assert(in_flight_ && "tx completion without a frame in flight");
+  // A reset (node crash) may clear in_flight_ while the frame is still on
+  // the air; its completion is then nobody's business.
+  if (!in_flight_) return;
   Outgoing done = std::move(*in_flight_);
   in_flight_.reset();
 
@@ -197,6 +204,7 @@ void CsmaMac::fail_exchange_attempt() {
   ++frame.retransmissions;
   if (frame.retransmissions > params_.max_retransmissions) {
     ++stats_.dropped_no_ack;
+    if (send_failed_) send_failed_(frame.packet);
     pump();
     return;
   }
@@ -207,10 +215,22 @@ void CsmaMac::fail_exchange_attempt() {
   const Duration delay = backoff_delay(frame.retransmissions);
   queue_.push_front(std::move(frame));
   retry_scheduled_ = true;
-  simulator_.schedule(delay, [this] {
+  simulator_.schedule(delay, [this, epoch = epoch_] {
+    if (epoch != epoch_) return;
     retry_scheduled_ = false;
     pump();
   });
+}
+
+void CsmaMac::reset() {
+  ++epoch_;  // disarms every lambda scheduled before the crash
+  queue_.clear();
+  retry_scheduled_ = false;
+  pending_responses_ = 0;
+  in_flight_.reset();
+  exchange_.reset();
+  response_timer_.cancel();
+  last_accepted_.clear();
 }
 
 void CsmaMac::send_control_response(pkt::Packet response) {
@@ -220,7 +240,9 @@ void CsmaMac::send_control_response(pkt::Packet response) {
   // self-collision on every forwarding hop).
   ++pending_responses_;
   simulator_.schedule(params_.sifs,
-                      [this, response = std::move(response)]() mutable {
+                      [this, epoch = epoch_,
+                       response = std::move(response)]() mutable {
+                        if (epoch != epoch_) return;
                         --pending_responses_;
                         enqueue(Outgoing{std::move(response), SendOptions{},
                                          0, 0},
@@ -270,8 +292,10 @@ void CsmaMac::on_frame(const pkt::Packet& packet) {
       exchange_->stage = Exchange::Stage::kWaitAck;
       pkt::Packet data = exchange_->frame.packet;  // retransmissions reuse it
       const double range = exchange_->frame.options.range_multiplier;
-      simulator_.schedule(params_.sifs, [this, data = std::move(data),
+      simulator_.schedule(params_.sifs, [this, epoch = epoch_,
+                                         data = std::move(data),
                                          range]() mutable {
+        if (epoch != epoch_) return;
         transmit_now(Outgoing{std::move(data), SendOptions{false, range, false},
                               0, 0});
       });

@@ -90,6 +90,7 @@ struct MacStats {
 class CsmaMac {
  public:
   using Upcall = std::function<void(const pkt::Packet&)>;
+  using SendFailedCallback = std::function<void(const pkt::Packet&)>;
 
   /// `recorder` (optional) receives mac.backoff / mac.busy_drop events; it
   /// must outlive the MAC.
@@ -103,6 +104,19 @@ class CsmaMac {
 
   /// Queues a frame for transmission.
   void send(pkt::Packet packet, SendOptions options = {});
+
+  /// Optional: invoked when a unicast frame exhausts its ARQ retries
+  /// (link-layer delivery failure — the next hop is unreachable). Left
+  /// unset on clean runs; the fault-hardened node wires it to routing so
+  /// routes through dead next hops are evicted and re-discovered.
+  void set_send_failed(SendFailedCallback callback) {
+    send_failed_ = std::move(callback);
+  }
+
+  /// Wipes all queued frames, pending exchanges, timers and dedupe state
+  /// (node crash). Lambdas already in the event queue are disarmed by an
+  /// epoch check, so a reset MAC never acts on pre-crash state.
+  void reset();
 
   std::size_t queue_depth() const { return queue_.size(); }
   const MacStats& stats() const { return stats_; }
@@ -147,6 +161,9 @@ class CsmaMac {
   MacParams params_;
   obs::Recorder* recorder_;
   Upcall upcall_;
+  SendFailedCallback send_failed_;
+  /// Bumped by reset(); scheduled lambdas from an earlier epoch no-op.
+  int epoch_ = 0;
   std::deque<Outgoing> queue_;
   bool retry_scheduled_ = false;
   /// Control responses (ACK/CTS) inside their SIFS delay.

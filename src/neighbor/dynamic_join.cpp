@@ -30,14 +30,32 @@ void DynamicJoinAgent::start_join() {
   joining_ = true;
   for (int repeat = 0; repeat < params_.hello_repeats; ++repeat) {
     env_.simulator().schedule(repeat * params_.hello_gap,
-                              [this] { send_join_hello(); });
+                              [this, epoch = epoch_] {
+                                if (epoch == epoch_) send_join_hello();
+                              });
   }
   // Once the handshakes settle, tell the neighborhood who WE can hear
   // (twice: the channel is live and broadcasts are unacknowledged).
   env_.simulator().schedule(params_.settle_time,
-                            [this] { share_list(kInvalidNode); });
+                            [this, epoch = epoch_] {
+                              if (epoch == epoch_) share_list(kInvalidNode);
+                            });
   env_.simulator().schedule(params_.settle_time + 2.0,
-                            [this] { share_list(kInvalidNode); });
+                            [this, epoch = epoch_] {
+                              if (epoch == epoch_) share_list(kInvalidNode);
+                            });
+}
+
+void DynamicJoinAgent::forget(NodeId peer) {
+  admitted_.erase(peer);
+  pending_nonces_.erase(peer);
+}
+
+void DynamicJoinAgent::reset() {
+  ++epoch_;
+  joining_ = false;
+  pending_nonces_.clear();
+  admitted_.clear();
 }
 
 void DynamicJoinAgent::send_join_hello() {
@@ -100,6 +118,7 @@ void DynamicJoinAgent::handle_challenge(const pkt::Packet& packet) {
   // The authenticated challenge proves the challenger holds the pairwise
   // key; links are bidirectional, so it is our neighbor.
   table_.add_neighbor(challenger);
+  if (on_neighbor_gained_) on_neighbor_gained_(challenger);
 
   pkt::Packet response =
       env_.packet_factory().make(pkt::PacketType::kJoinResponse);

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,8 +50,26 @@ class DynamicJoinAgent {
   /// Joiner side: announce ourselves and run the handshake.
   void start_join();
 
+  /// Forgets one peer's admission and any outstanding nonce for it (the
+  /// peer crashed / was aged out): its next JOIN_HELLO gets a fresh
+  /// challenge instead of being ignored as already-admitted.
+  void forget(NodeId peer);
+
+  /// Wipes all join state (this node crashed). Pending hello/share events
+  /// are disarmed via an epoch check; a later start_join() re-runs the
+  /// protocol from scratch.
+  void reset();
+
   /// Both sides: JOIN_HELLO / JOIN_CHALLENGE / JOIN_RESPONSE frames.
   void handle(const pkt::Packet& packet);
+
+  /// Invoked each time the joiner side authenticates a new neighbor (the
+  /// challenge's tag proved the peer's pairwise key). The robustness
+  /// harness uses this as the "rejoined the network" mark when measuring
+  /// crash-recovery latency.
+  void set_on_neighbor_gained(std::function<void(NodeId)> cb) {
+    on_neighbor_gained_ = std::move(cb);
+  }
 
   bool joining() const { return joining_; }
   std::uint64_t challenges_issued() const { return challenges_issued_; }
@@ -78,6 +97,8 @@ class DynamicJoinAgent {
   JoinParams params_;
   bool joining_ = false;
   SeqNo seq_ = 0;
+  /// Bumped by reset(); scheduled hellos/shares from before a crash no-op.
+  int epoch_ = 0;
   /// Established side: outstanding nonce per candidate joiner.
   std::unordered_map<NodeId, std::uint64_t> pending_nonces_;
   /// Joiners we already admitted (challenge replays are ignored).
@@ -85,6 +106,7 @@ class DynamicJoinAgent {
   std::uint64_t challenges_issued_ = 0;
   std::uint64_t joins_admitted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::function<void(NodeId)> on_neighbor_gained_;
 };
 
 }  // namespace lw::nbr

@@ -47,6 +47,23 @@ void NeighborTable::revoke(NodeId id) {
   ++revoked_count_;
 }
 
+void NeighborTable::expire_neighbor(NodeId id) {
+  if (!knows_neighbor(id)) return;
+  neighbor_flags_[id] = 0;
+  order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+  lists_.erase(id);
+  if (id < list_flags_.size()) list_flags_[id].clear();
+}
+
+void NeighborTable::clear() {
+  order_.clear();
+  neighbor_flags_.clear();
+  revoked_flags_.clear();
+  revoked_count_ = 0;
+  lists_.clear();
+  list_flags_.clear();
+}
+
 std::vector<NodeId> NeighborTable::active_neighbors() const {
   std::vector<NodeId> active;
   active.reserve(order_.size());

@@ -57,6 +57,15 @@ class NeighborTable {
   void revoke(NodeId id);
   bool is_revoked(NodeId id) const { return test(revoked_flags_, id); }
 
+  /// Drops a first-hop neighbor entirely (crash aging): flag, order entry
+  /// and its stored second-hop list all go, so the node can be re-admitted
+  /// from scratch when it recovers. Revocation is NOT forgotten — an
+  /// isolated attacker stays isolated across its own reboot.
+  void expire_neighbor(NodeId id);
+
+  /// Wipes everything including revocations (the owner itself crashed).
+  void clear();
+
   /// All first-hop neighbors (including revoked); insertion order.
   const std::vector<NodeId>& neighbors() const { return order_; }
 

@@ -19,6 +19,8 @@ const char* to_string(Layer layer) {
       return "mon";
     case Layer::kAttack:
       return "atk";
+    case Layer::kFault:
+      return "flt";
   }
   return "?";
 }
@@ -42,7 +44,7 @@ std::uint32_t parse_layer_mask(const std::string& spec) {
     if (!found) {
       throw std::invalid_argument(
           "unknown trace layer '" + name +
-          "' (expected phy, mac, nbr, route, mon, atk, or all)");
+          "' (expected phy, mac, nbr, route, mon, atk, flt, or all)");
     }
   }
   return mask;
@@ -108,6 +110,18 @@ const char* to_string(EventKind kind) {
       return "drop";
     case EventKind::kAtkSpawn:
       return "spawn";
+    case EventKind::kFltCrash:
+      return "crash";
+    case EventKind::kFltRecover:
+      return "recover";
+    case EventKind::kFltLinkDown:
+      return "link_down";
+    case EventKind::kFltLinkUp:
+      return "link_up";
+    case EventKind::kFltFrame:
+      return "frame";
+    case EventKind::kFltCorrupt:
+      return "corrupt";
   }
   return "?";
 }
@@ -149,6 +163,13 @@ Layer layer_of(EventKind kind) {
     case EventKind::kAtkDrop:
     case EventKind::kAtkSpawn:
       return Layer::kAttack;
+    case EventKind::kFltCrash:
+    case EventKind::kFltRecover:
+    case EventKind::kFltLinkDown:
+    case EventKind::kFltLinkUp:
+    case EventKind::kFltFrame:
+    case EventKind::kFltCorrupt:
+      return Layer::kFault;
   }
   return Layer::kPhy;
 }

@@ -28,8 +28,9 @@ enum class Layer : std::uint8_t {
   kRouting = 3,
   kMonitor = 4,
   kAttack = 5,
+  kFault = 6,
 };
-inline constexpr std::size_t kLayerCount = 6;
+inline constexpr std::size_t kLayerCount = 7;
 
 constexpr std::uint32_t layer_bit(Layer layer) {
   return 1u << static_cast<std::uint32_t>(layer);
@@ -37,7 +38,7 @@ constexpr std::uint32_t layer_bit(Layer layer) {
 inline constexpr std::uint32_t kAllLayers = (1u << kLayerCount) - 1;
 
 /// Short stable layer name used in trace filters and metric names
-/// ("phy", "mac", "nbr", "route", "mon", "atk").
+/// ("phy", "mac", "nbr", "route", "mon", "atk", "flt").
 const char* to_string(Layer layer);
 
 /// Parses a comma-separated layer list ("phy,mac,mon") into a mask.
@@ -89,9 +90,18 @@ enum class EventKind : std::uint8_t {
   kAtkSpawn,         // node IS malicious (emitted once at t=0; the
                      // ground-truth anchor offline incident labeling
                      // cross-checks isolations against)
+
+  // ---- Fault injection (ground truth; absent unless a FaultPlan runs) ----
+  kFltCrash,         // node crashed               value: recovery time (<0: none)
+  kFltRecover,       // node rebooted, rejoining
+  kFltLinkDown,      // link outage window opened   peer: other endpoint
+                     //   value: extra loss prob (1 = hard outage)
+  kFltLinkUp,        // link outage window closed   peer: other endpoint
+  kFltFrame,         // compromised guard sent a false alert   peer: victim
+  kFltCorrupt,       // frame bytes flipped in flight          peer: receiver
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kAtkSpawn) + 1;
+    static_cast<std::size_t>(EventKind::kFltCorrupt) + 1;
 
 /// Short stable event name ("tx", "watch_add", ...); combined with the
 /// layer it forms the metrics-registry counter name "<layer>.<event>".

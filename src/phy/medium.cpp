@@ -17,6 +17,42 @@ Medium::Medium(sim::Simulator& simulator, const topo::DiscGraph& graph,
   rx_range_multiplier_.resize(graph.size(), 1.0);
 }
 
+void Medium::enable_faults(Rng fault_rng) {
+  faults_enabled_ = true;
+  fault_rng_ = fault_rng;
+  node_down_.assign(graph_.size(), 0);
+  corrupt_prob_.assign(graph_.size(), 0.0);
+}
+
+void Medium::set_node_down(NodeId node, bool down) {
+  assert(faults_enabled_ && "enable_faults first");
+  node_down_.at(node) = down ? 1 : 0;
+}
+
+void Medium::set_link_fault(NodeId a, NodeId b, double extra_loss) {
+  assert(faults_enabled_ && "enable_faults first");
+  link_fault_[link_key(a, b)] = extra_loss;
+}
+
+void Medium::clear_link_fault(NodeId a, NodeId b) {
+  link_fault_.erase(link_key(a, b));
+}
+
+void Medium::set_corruption(NodeId node, double probability) {
+  assert(faults_enabled_ && "enable_faults first");
+  corrupt_prob_.at(node) = probability;
+}
+
+void Medium::clear_corruption(NodeId node) {
+  corrupt_prob_.at(node) = 0.0;
+}
+
+double Medium::link_fault_loss(NodeId a, NodeId b) const {
+  if (link_fault_.empty()) return 0.0;
+  auto it = link_fault_.find(link_key(a, b));
+  return it == link_fault_.end() ? 0.0 : it->second;
+}
+
 void Medium::set_rx_range_multiplier(NodeId node, double multiplier) {
   rx_range_multiplier_.at(node) = multiplier;
   max_rx_multiplier_ = 1.0;
@@ -47,6 +83,9 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
                       double range_multiplier) {
   obs::ScopedTimer obs_timer(recorder_ ? recorder_->profiler() : nullptr,
                              obs::Layer::kPhy);
+  // A crashed node is silent: the gate sits before any stats or trace
+  // emission so "no tx from a crashed node" holds at the byte level.
+  if (faults_enabled_ && node_down_[sender]) return;
   Radio* tx_radio = radios_.at(sender);
   assert(tx_radio != nullptr && "transmit from unattached radio");
 
@@ -101,6 +140,13 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
     if (dist > reach) continue;
     Radio* rx_radio = radios_[receiver];
     if (rx_radio == nullptr) continue;
+    if (faults_enabled_) {
+      if (node_down_[receiver]) continue;  // dead radios hear nothing
+      if (link_fault_loss(sender, receiver) >= 1.0) {
+        ++stats_.frames_fault_lost;  // hard link outage
+        continue;
+      }
+    }
 
     const Duration propagation = dist / params_.propagation_speed;
     const Time rx_start = now + propagation;
@@ -123,8 +169,42 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
     const bool maybe_loss = params_.extra_loss_prob > 0.0 &&
                             rx_end >= params_.collision_free_until;
     simulator_.schedule_at(rx_end, [this, rx_radio, shared, maybe_loss] {
-      const bool random_loss =
+      bool random_loss =
           maybe_loss && loss_rng_.chance(params_.extra_loss_prob);
+      if (faults_enabled_) {
+        const NodeId to = rx_radio->id();
+        if (node_down_[to]) {
+          // Receiver crashed while the frame was in flight: the pending
+          // reception is drained quietly, no outcome is reported.
+          rx_radio->drop_reception(shared->uid);
+          return;
+        }
+        const double link_loss = link_fault_loss(shared->tx_node, to);
+        if (link_loss > 0.0 && fault_rng_.chance(link_loss)) {
+          ++stats_.frames_fault_lost;
+          random_loss = true;  // surfaces as an ordinary phy.loss
+        } else if (corrupt_prob_[to] > 0.0 &&
+                   fault_rng_.chance(corrupt_prob_[to])) {
+          // Flip the authentication-tag bytes: the frame still parses
+          // (fixed-layout struct), but dies at HMAC verification in
+          // whichever layer checks it.
+          auto damaged = std::make_shared<pkt::Packet>(*shared);
+          for (auto& byte : damaged->tag) byte ^= 0xFF;
+          for (auto& auth : damaged->alert_auth) {
+            for (auto& byte : auth.tag) byte ^= 0xFF;
+          }
+          if (rx_radio->replace_pending(shared->uid, std::move(damaged))) {
+            ++stats_.frames_corrupted;
+            if (recorder_ && recorder_->wants(obs::Layer::kFault)) {
+              recorder_->emit({.t = simulator_.now(),
+                               .kind = obs::EventKind::kFltCorrupt,
+                               .node = shared->tx_node,
+                               .peer = to,
+                               .packet = shared.get()});
+            }
+          }
+        }
+      }
       obs::EventKind rx_kind = obs::EventKind::kPhyRx;
       switch (rx_radio->finish_receive(*shared, random_loss)) {
         case RxOutcome::kDelivered:

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/recorder.h"
@@ -37,6 +38,9 @@ struct MediumStats {
   std::array<double, 16> airtime_by_type{};
   /// Receptions lost to collision, by packet type.
   std::array<std::uint64_t, 16> collisions_by_type{};
+  /// Fault-injection outcomes; all zero unless a FaultPlan ran.
+  std::uint64_t frames_fault_lost = 0;  // link outage / dead receiver
+  std::uint64_t frames_corrupted = 0;   // bytes flipped in flight
 };
 
 class Medium {
@@ -76,7 +80,41 @@ class Medium {
   const PhyParams& params() const { return params_; }
   const topo::DiscGraph& graph() const { return graph_; }
 
+  // --- Fault-injection interface (scenario::Network as fault::FaultHost) ---
+  //
+  // Every check below hides behind faults_enabled_: a run without a
+  // FaultPlan takes the exact same branches and draws the exact same RNG
+  // sequence as before this interface existed. Fault randomness comes from
+  // a dedicated stream so injected faults never shift loss_rng_'s draws.
+
+  /// Turns the fault paths on and installs the dedicated fault RNG stream.
+  void enable_faults(Rng fault_rng);
+
+  /// Silences / revives a node: no transmissions leave it, no receptions
+  /// are registered at it, frames already in the air toward it die quietly.
+  void set_node_down(NodeId node, bool down);
+  bool node_down(NodeId node) const {
+    return faults_enabled_ && node_down_[node];
+  }
+
+  /// Per-link outage window: extra_loss >= 1 is a hard outage (frames are
+  /// never registered); fractions are drawn per frame at delivery time.
+  void set_link_fault(NodeId a, NodeId b, double extra_loss);
+  void clear_link_fault(NodeId a, NodeId b);
+
+  /// Inbound corruption window at `node`: each delivered frame's auth tag
+  /// bytes are flipped with `probability`, so the frame dies at HMAC
+  /// verification instead of in a parser.
+  void set_corruption(NodeId node, double probability);
+  void clear_corruption(NodeId node);
+
  private:
+  static std::uint64_t link_key(NodeId a, NodeId b) {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  double link_fault_loss(NodeId a, NodeId b) const;
   bool collisions_active() const {
     return params_.collisions_enabled &&
            simulator_.now() >= params_.collision_free_until;
@@ -96,6 +134,14 @@ class Medium {
   std::vector<NodeId> rx_candidates_;
   obs::Recorder* recorder_ = nullptr;
   MediumStats stats_;
+
+  // Fault-injection state; untouched (and unread beyond the bool) unless a
+  // FaultPlan enabled it.
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0};  // replaced by enable_faults' dedicated stream
+  std::vector<char> node_down_;
+  std::vector<double> corrupt_prob_;
+  std::unordered_map<std::uint64_t, double> link_fault_;
 };
 
 }  // namespace lw::phy

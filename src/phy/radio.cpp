@@ -87,4 +87,21 @@ RxOutcome Radio::finish_receive(const pkt::Packet& packet, bool random_loss) {
   return outcome;
 }
 
+void Radio::drop_reception(PacketUid uid) {
+  auto it = std::find_if(
+      ongoing_.begin(), ongoing_.end(),
+      [&](const Reception& r) { return r.packet->uid == uid; });
+  if (it != ongoing_.end()) ongoing_.erase(it);
+}
+
+bool Radio::replace_pending(PacketUid uid,
+                            std::shared_ptr<const pkt::Packet> packet) {
+  auto it = std::find_if(
+      ongoing_.begin(), ongoing_.end(),
+      [&](const Reception& r) { return r.packet->uid == uid; });
+  if (it == ongoing_.end()) return false;
+  it->packet = std::move(packet);
+  return true;
+}
+
 }  // namespace lw::phy

@@ -93,6 +93,25 @@ class Radio {
   /// the frame sink on success; reports the outcome either way.
   RxOutcome finish_receive(const pkt::Packet& packet, bool random_loss);
 
+  // --- Fault-injection hooks (no-ops on the clean path) ---
+
+  /// Quietly discards a registered reception (crashed receiver): no sink
+  /// is called, no outcome reported. Safe when the uid is already gone.
+  void drop_reception(PacketUid uid);
+
+  /// Swaps the pending reception's payload for `packet` (same uid: a
+  /// corrupted copy), so finish_receive delivers the damaged bytes.
+  /// Returns false when the uid is not pending.
+  bool replace_pending(PacketUid uid,
+                       std::shared_ptr<const pkt::Packet> packet);
+
+  /// Forgets carrier/NAV state across a crash. Pending receptions are NOT
+  /// cleared here — their delivery events drain them via drop_reception.
+  void reset_timing() {
+    tx_busy_until_ = kTimeZero;
+    nav_until_ = kTimeZero;
+  }
+
  private:
   struct Reception {
     std::shared_ptr<const pkt::Packet> packet;

@@ -52,6 +52,9 @@ class RouteCache {
   /// Drops the route to `dst` if present.
   void evict_destination(NodeId dst) { routes_.erase(dst); }
 
+  /// Drops every route (owner crashed).
+  void clear() { routes_.clear(); }
+
   std::size_t size() const { return routes_.size(); }
   Duration route_timeout() const { return route_timeout_; }
 

@@ -406,4 +406,27 @@ void OnDemandRouting::on_revoked(NodeId node) {
   // clean route around the revoked node.
 }
 
+void OnDemandRouting::on_send_failed(const pkt::Packet& packet) {
+  const NodeId dead_hop = packet.link_dst;
+  if (dead_hop == kInvalidNode) return;
+  cache_.evict_containing(dead_hop);
+  // As with a revocation, queued data waits for the retry flood, which
+  // will route around the unreachable hop (or fail and re-flood later).
+}
+
+void OnDemandRouting::reset() {
+  cache_.clear();
+  seen_requests_.clear();
+  for (auto& [flow, pending] : pending_forwards_) {
+    (void)flow;
+    pending.event.cancel();
+  }
+  pending_forwards_.clear();
+  replied_requests_.clear();
+  discoveries_.clear();
+  // next_seq_ is NOT reset: post-recovery REQs must not collide with
+  // pre-crash (origin, seq) flows still sitting in neighbors' duplicate
+  // filters.
+}
+
 }  // namespace lw::routing

@@ -83,6 +83,17 @@ class OnDemandRouting {
   /// Revocation response: purge routes and pending traffic through `node`.
   void on_revoked(NodeId node);
 
+  /// Link-layer delivery failure (MAC exhausted ARQ retries toward
+  /// `packet.link_dst` — typically a crashed or isolated next hop): evict
+  /// every cached route through that hop so the next data packet
+  /// re-discovers around it. Wired up only on fault-hardened runs.
+  void on_send_failed(const pkt::Packet& packet);
+
+  /// Wipes all routing state (node crash): cache, duplicate filters,
+  /// pending flood forwards (their events are cancelled) and discovery
+  /// queues. The node re-learns routes from scratch after recovery.
+  void reset();
+
   RouteCache& cache() { return cache_; }
   const RouteCache& cache() const { return cache_; }
 

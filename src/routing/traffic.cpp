@@ -16,11 +16,17 @@ void TrafficGenerator::start_at(Time begin) {
   destination_ = pick_destination();
   env_.simulator().schedule_at(
       begin + env_.rng().exponential(params_.data_rate),
-      [this] { schedule_next_packet(); });
+      [this, epoch = epoch_] {
+        if (epoch == epoch_) schedule_next_packet();
+      });
   env_.simulator().schedule_at(
       begin + env_.rng().exponential(params_.destination_change_rate),
-      [this] { schedule_next_destination_change(); });
+      [this, epoch = epoch_] {
+        if (epoch == epoch_) schedule_next_destination_change();
+      });
 }
+
+void TrafficGenerator::stop() { ++epoch_; }
 
 NodeId TrafficGenerator::pick_destination() {
   // Uniform over the other eligible ids (0..node_count-1). Late joiners
@@ -39,14 +45,18 @@ void TrafficGenerator::schedule_next_packet() {
   ++generated_;
   routing_.send_data(destination_, params_.payload_bytes);
   env_.simulator().schedule(env_.rng().exponential(params_.data_rate),
-                            [this] { schedule_next_packet(); });
+                            [this, epoch = epoch_] {
+                              if (epoch == epoch_) schedule_next_packet();
+                            });
 }
 
 void TrafficGenerator::schedule_next_destination_change() {
   destination_ = pick_destination();
   env_.simulator().schedule(
       env_.rng().exponential(params_.destination_change_rate),
-      [this] { schedule_next_destination_change(); });
+      [this, epoch = epoch_] {
+        if (epoch == epoch_) schedule_next_destination_change();
+      });
 }
 
 }  // namespace lw::routing

@@ -36,6 +36,11 @@ class TrafficGenerator {
   /// start generating once their join settles).
   void start_at(Time begin);
 
+  /// Halts generation (node crash): the self-rescheduling arrival and
+  /// destination-change loops are disarmed via an epoch check. A later
+  /// start_at() restarts them cleanly.
+  void stop();
+
   NodeId current_destination() const { return destination_; }
   std::uint64_t generated() const { return generated_; }
 
@@ -50,6 +55,8 @@ class TrafficGenerator {
   TrafficParams params_;
   NodeId destination_ = kInvalidNode;
   std::uint64_t generated_ = 0;
+  /// Bumped by stop(); pending loop events from an earlier epoch no-op.
+  int epoch_ = 0;
 };
 
 }  // namespace lw::routing

@@ -75,6 +75,9 @@ void ExperimentConfig::validate() const {
     reject("detection_confidence (gamma) must be at least 1");
   }
   if (traffic.data_rate < 0.0) reject("data_rate must be non-negative");
+  // FaultPlan throws its own "FaultPlan: ..." invalid_argument with the
+  // offending entry spelled out.
+  fault.validate(node_count + late_joiners);
 }
 
 std::string ExperimentConfig::summary() const {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "attack/coordinator.h"
+#include "fault/plan.h"
 #include "leash/leash.h"
 #include "liteworp/monitor.h"
 #include "mac/csma_mac.h"
@@ -75,6 +76,12 @@ struct ExperimentConfig {
   /// Malicious nodes are placed pairwise farther apart than this many hops
   /// ("more than 2 hops away from each other").
   std::size_t min_malicious_hop_separation = 3;
+
+  // ---- Fault injection (robustness experiments) ----
+  /// Scheduled crashes, link outages, guard framing and frame corruption.
+  /// Empty by default; an empty plan is guaranteed zero-cost (no events
+  /// scheduled, traces byte-identical to a build without faults).
+  fault::FaultPlan fault;
 
   // ---- Run ----
   Time duration = 2000.0;

@@ -54,7 +54,8 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
     incident_builder_ = std::make_unique<forensics::IncidentBuilder>();
     recorder_->add_sink(incident_builder_.get(),
                         obs::layer_bit(obs::Layer::kMonitor) |
-                            obs::layer_bit(obs::Layer::kAttack));
+                            obs::layer_bit(obs::Layer::kAttack) |
+                            obs::layer_bit(obs::Layer::kFault));
   }
   if (config_.obs.profile) {
     profiler_ = std::make_unique<obs::RunProfiler>();
@@ -96,6 +97,20 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
         config_.late_join_time +
             static_cast<double>(j) * config_.late_join_stagger,
         [joiner] { joiner->start_late(); });
+  }
+
+  // Fault injection: armed only for a non-empty plan, so clean runs
+  // schedule zero extra events, draw zero extra random numbers, and take
+  // zero extra branches (the medium's fault paths stay disabled).
+  if (!config_.fault.empty()) {
+    medium_->enable_faults(rngs.stream("fault"));
+    for (auto& hardened : nodes_) {
+      hardened->enable_hardening(config_.fault.neighbor_age_timeout,
+                                 config_.fault.neighbor_age_sweep_interval);
+    }
+    injector_ = std::make_unique<fault::Injector>(simulator_, recorder_.get(),
+                                                  config_.fault, *this);
+    injector_->arm();
   }
 }
 
@@ -273,6 +288,64 @@ void Network::configure_attack() {
       medium_->set_rx_range_multiplier(x, config_.attack.high_power_multiplier);
     }
   }
+}
+
+void Network::crash_node(NodeId node) {
+  nodes_.at(node)->crash();
+  medium_->set_node_down(node, true);
+  ++fault_crashes_;
+}
+
+void Network::recover_node(NodeId node) {
+  medium_->set_node_down(node, false);
+  nodes_.at(node)->recover();
+  ++fault_recoveries_;
+}
+
+std::vector<Duration> Network::recovery_latencies() const {
+  std::vector<Duration> latencies;
+  for (const auto& node : nodes_) {
+    const auto& samples = node->recovery_latencies();
+    latencies.insert(latencies.end(), samples.begin(), samples.end());
+  }
+  return latencies;
+}
+
+void Network::set_link_fault(NodeId a, NodeId b, double extra_loss) {
+  medium_->set_link_fault(a, b, extra_loss);
+}
+
+void Network::clear_link_fault(NodeId a, NodeId b) {
+  medium_->clear_link_fault(a, b);
+}
+
+void Network::set_corruption(NodeId node, double probability) {
+  medium_->set_corruption(node, probability);
+}
+
+void Network::clear_corruption(NodeId node) {
+  medium_->clear_corruption(node);
+}
+
+std::vector<NodeId> Network::framing_guards(NodeId victim,
+                                            std::size_t count) const {
+  std::vector<NodeId> candidates(graph_->neighbors(victim).begin(),
+                                 graph_->neighbors(victim).end());
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<NodeId> guards;
+  for (NodeId id : candidates) {
+    if (guards.size() >= count) break;
+    const Node& node = *nodes_.at(id);
+    if (node.malicious() || !node.alive() || !node.deployed()) continue;
+    guards.push_back(id);
+  }
+  return guards;
+}
+
+void Network::emit_false_alert(NodeId guard, NodeId victim) {
+  Node& framer = *nodes_.at(guard);
+  if (!framer.alive() || framer.monitor() == nullptr) return;
+  framer.monitor()->emit_false_alert(victim);
 }
 
 void Network::run() { run_until(config_.duration); }

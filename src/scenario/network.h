@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "attack/coordinator.h"
+#include "fault/injector.h"
 #include "forensics/incident.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
@@ -26,7 +27,10 @@
 
 namespace lw::scenario {
 
-class Network {
+/// The Network doubles as the fault injector's host: it is the only layer
+/// that can both silence a radio in the medium and wipe a node's protocol
+/// stack coherently.
+class Network : public fault::FaultHost {
  public:
   /// Builds the metrics collector; overridable so tools can subclass
   /// MetricsCollector for richer observability.
@@ -34,7 +38,7 @@ class Network {
       const sim::Simulator&, const topo::DiscGraph&, std::vector<NodeId>)>;
 
   explicit Network(ExperimentConfig config, MetricsFactory metrics = {});
-  ~Network();
+  ~Network() override;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -93,6 +97,29 @@ class Network {
                              : forensics::ForensicsSummary{};
   }
 
+  // ---- Robustness outputs (all zero/empty on fault-free runs) ----
+
+  /// Number of crash / recovery faults actually executed.
+  std::uint64_t fault_crashes() const { return fault_crashes_; }
+  std::uint64_t fault_recoveries() const { return fault_recoveries_; }
+
+  /// Every completed crash-recovery latency sample across all nodes
+  /// (recover() -> first re-authenticated neighbor), in node-id order.
+  std::vector<Duration> recovery_latencies() const;
+
+  // ---- fault::FaultHost (driven by the injector; public for tests) ----
+  void crash_node(NodeId node) override;
+  void recover_node(NodeId node) override;
+  void set_link_fault(NodeId a, NodeId b, double extra_loss) override;
+  void clear_link_fault(NodeId a, NodeId b) override;
+  void set_corruption(NodeId node, double probability) override;
+  void clear_corruption(NodeId node) override;
+  /// Up to `count` honest, alive, monitoring neighbors of `victim`,
+  /// ascending by id — the injector's deterministic guard pick.
+  std::vector<NodeId> framing_guards(NodeId victim,
+                                     std::size_t count) const override;
+  void emit_false_alert(NodeId guard, NodeId victim) override;
+
  private:
   topo::DiscGraph build_topology(const RngFactory& rngs);
   std::vector<NodeId> pick_malicious(const topo::DiscGraph& graph, Rng& rng,
@@ -118,6 +145,10 @@ class Network {
   std::unique_ptr<stats::MetricsCollector> metrics_;
   std::unique_ptr<attack::WormholeCoordinator> coordinator_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Present only when config_.fault is non-empty (zero-cost otherwise).
+  std::unique_ptr<fault::Injector> injector_;
+  std::uint64_t fault_crashes_ = 0;
+  std::uint64_t fault_recoveries_ = 0;
 };
 
 }  // namespace lw::scenario

@@ -56,7 +56,86 @@ void Node::start_late() {
   traffic_.start_at(simulator_.now() + config_.join.settle_time + 4.0);
 }
 
+void Node::enable_hardening(Duration age_timeout, Duration sweep_interval) {
+  if (hardening_) return;
+  hardening_ = true;
+  age_timeout_ = age_timeout;
+  sweep_interval_ = sweep_interval;
+  harden_start_ = simulator_.now();
+  // A next hop that exhausts link-layer retries is unreachable (crashed or
+  // isolated): tear down every cached route through it so the next packet
+  // re-discovers instead of feeding a black hole.
+  mac_.set_send_failed(
+      [this](const pkt::Packet& p) { routing_.on_send_failed(p); });
+  // Recovery latency: the sample closes when a rebooted node first
+  // re-authenticates a neighbor through the challenge-response join.
+  join_.set_on_neighbor_gained([this](NodeId) {
+    if (recover_started_ < 0.0) return;
+    recovery_latencies_.push_back(simulator_.now() - recover_started_);
+    recover_started_ = -1.0;
+  });
+  schedule_age_sweep();
+}
+
+void Node::crash() {
+  alive_ = false;
+  deployed_ = false;
+  mac_.reset();
+  radio_.reset_timing();
+  routing_.reset();
+  traffic_.stop();
+  join_.reset();
+  if (monitor_) monitor_->reset();
+  table_.clear();
+  last_heard_.assign(last_heard_.size(), -1.0);
+}
+
+void Node::recover() {
+  alive_ = true;
+  deployed_ = true;
+  harden_start_ = simulator_.now();
+  recover_started_ = simulator_.now();
+  // Identical to a late deployment: the challenge-response join is how a
+  // rebooted node proves itself back into its old neighborhood (peers hold
+  // it as known-but-not-admitted, so their hellos get re-challenged).
+  if (monitor_) monitor_->start();
+  join_.start_join();
+  traffic_.start_at(simulator_.now() + config_.join.settle_time + 4.0);
+}
+
+void Node::touch_neighbor(NodeId peer) {
+  if (peer == kInvalidNode || peer == id_) return;
+  if (peer >= last_heard_.size()) last_heard_.resize(peer + 1, -1.0);
+  last_heard_[peer] = simulator_.now();
+}
+
+void Node::age_out_neighbors() {
+  const Time now = simulator_.now();
+  // Copy: expire_neighbor edits the order vector we iterate.
+  const std::vector<NodeId> neighbors = table_.neighbors();
+  for (NodeId peer : neighbors) {
+    if (table_.is_revoked(peer)) continue;  // isolation outlives silence
+    const Time heard =
+        peer < last_heard_.size() ? last_heard_[peer] : -1.0;
+    const Time baseline = heard < 0.0 ? harden_start_ : heard;
+    if (now - baseline < age_timeout_) continue;
+    LW_INFO << "node " << id_ << " aged out silent neighbor " << peer
+            << " at t=" << now;
+    table_.expire_neighbor(peer);
+    join_.forget(peer);  // its next JOIN_HELLO gets a fresh challenge
+    routing_.cache().evict_containing(peer);
+  }
+}
+
+void Node::schedule_age_sweep() {
+  simulator_.schedule(sweep_interval_, [this] {
+    if (alive_) age_out_neighbors();
+    schedule_age_sweep();
+  });
+}
+
 void Node::send(pkt::Packet packet, mac::SendOptions options) {
+  if (!alive_) return;  // a crashed node's stale timers fire into the void
   if (packet.claimed_tx == kInvalidNode) packet.claimed_tx = id_;
   // A node is a guard of its own outgoing links: feed the monitor with the
   // control traffic we transmit so the fabrication/drop checks have our
@@ -68,7 +147,8 @@ void Node::send(pkt::Packet packet, mac::SendOptions options) {
 }
 
 void Node::handle_frame(const pkt::Packet& packet) {
-  if (!deployed_) return;  // not in the field yet
+  if (!deployed_) return;  // not in the field yet (or crashed)
+  if (hardening_) touch_neighbor(packet.claimed_tx);
 
   obs::RunProfiler* profiler = recorder_ ? recorder_->profiler() : nullptr;
 

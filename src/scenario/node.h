@@ -49,6 +49,34 @@ class Node final : public node::NodeEnv {
 
   bool deployed() const { return deployed_; }
 
+  // ---- Fault-plan support (driven by Network as fault::FaultHost) ----
+
+  /// Turns on the crash-resilience behaviors that a clean run must not pay
+  /// for: neighbor aging (crashed peers fall out of the table and become
+  /// re-challengeable) and MAC send-failure -> route eviction. Called once,
+  /// before the run starts, only when the experiment has a FaultPlan.
+  void enable_hardening(Duration age_timeout, Duration sweep_interval);
+
+  /// Powers the node down: MAC queue, exchanges and timers die, routing
+  /// and neighbor state is wiped, traffic stops, the monitor forgets
+  /// everything. Frames it already has on the air finish (crash
+  /// granularity is the frame boundary); the medium silences it otherwise.
+  void crash();
+
+  /// Reboots the node: it re-enters through the dynamic-join
+  /// challenge-response path exactly like a late-deployed node, and its
+  /// traffic resumes once the join settles.
+  void recover();
+
+  bool alive() const { return alive_; }
+
+  /// Time from recover() until the node re-authenticated its first
+  /// neighbor; negative while (or if) that has not happened. One value per
+  /// completed recovery, in order.
+  const std::vector<Duration>& recovery_latencies() const {
+    return recovery_latencies_;
+  }
+
   // NodeEnv
   NodeId id() const override { return id_; }
   sim::Simulator& simulator() override { return simulator_; }
@@ -79,6 +107,9 @@ class Node final : public node::NodeEnv {
 
  private:
   void handle_frame(const pkt::Packet& packet);
+  void touch_neighbor(NodeId peer);
+  void age_out_neighbors();
+  void schedule_age_sweep();
 
   NodeId id_;
   const ExperimentConfig& config_;
@@ -96,6 +127,18 @@ class Node final : public node::NodeEnv {
   routing::OnDemandRouting routing_;
   routing::TrafficGenerator traffic_;
   bool deployed_ = false;
+  bool alive_ = true;
+  // Crash-resilience knobs; inert (hardening_ false) on clean runs.
+  bool hardening_ = false;
+  Duration age_timeout_ = 0.0;
+  Duration sweep_interval_ = 0.0;
+  Time harden_start_ = 0.0;
+  /// Last time each peer was heard (indexed by id; -1 = never).
+  std::vector<Time> last_heard_;
+  /// Recovery-latency measurement: recover() arms recover_started_; the
+  /// first re-authenticated neighbor closes the sample.
+  Time recover_started_ = -1.0;
+  std::vector<Duration> recovery_latencies_;
   leash::LeashChecker leash_;
   std::unique_ptr<lite::LocalMonitor> monitor_;
   std::unique_ptr<attack::MaliciousAgent> malicious_agent_;

@@ -39,6 +39,10 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.p95_delivery_latency = m.latency_percentile(95.0);
   r.duration = network.config().duration;
   r.attack_start = network.config().attack.start_time;
+  r.fault_active = !network.config().fault.empty();
+  r.nodes_crashed = network.fault_crashes();
+  r.nodes_recovered = network.fault_recoveries();
+  r.recovery_latencies = network.recovery_latencies();
   r.drop_times = m.drop_times;
   r.wormhole_route_times = m.wormhole_route_times;
   r.trace_jsonl = network.trace_jsonl();
@@ -49,10 +53,12 @@ RunResult RunResult::from_metrics(const Network& network) {
   return r;
 }
 
-RunResult run_experiment(ExperimentConfig config) {
+RunResult run_experiment(ExperimentConfig config,
+                         double wall_timeout_seconds) {
   config.finalize();
   config.validate();
   Network network(std::move(config));
+  network.simulator().set_wall_timeout(wall_timeout_seconds);
   network.run();
   return RunResult::from_metrics(network);
 }
@@ -94,18 +100,44 @@ class RunningStat {
 
 }  // namespace
 
-Aggregate Aggregate::reduce(const std::vector<RunResult>& results) {
+Aggregate Aggregate::reduce(const std::vector<RunResult>& all_results) {
   Aggregate agg;
+  // Failed replicas (watchdog kills) carry no meaningful outputs: count
+  // them, then average only over the completed runs.
+  std::vector<const RunResult*> results;
+  results.reserve(all_results.size());
+  for (const RunResult& r : all_results) {
+    if (r.failed) {
+      ++agg.failed_runs;
+    } else {
+      results.push_back(&r);
+    }
+  }
   agg.runs = static_cast<int>(results.size());
   if (results.empty()) return agg;
 
   double latency_sum = 0.0;
   int latency_runs = 0;
+  double recovery_sum = 0.0;
   RunningStat dropped;
   RunningStat wormhole_fraction;
   RunningStat detected;
 
-  for (const RunResult& r : results) {
+  for (const RunResult* rp : results) {
+    const RunResult& r = *rp;
+    if (r.fault_active) {
+      agg.fault_active = true;
+      agg.nodes_crashed += static_cast<double>(r.nodes_crashed);
+      agg.nodes_recovered += static_cast<double>(r.nodes_recovered);
+      for (Duration latency : r.recovery_latencies) {
+        recovery_sum += latency;
+        ++agg.recovery_samples;
+      }
+      agg.framed_accusations +=
+          static_cast<double>(r.forensics.framed_accusations);
+      agg.framed_isolations +=
+          static_cast<double>(r.forensics.framed_isolations);
+    }
     agg.data_originated += static_cast<double>(r.data_originated);
     agg.data_dropped_malicious +=
         static_cast<double>(r.data_dropped_malicious);
@@ -141,6 +173,14 @@ Aggregate Aggregate::reduce(const std::vector<RunResult>& results) {
   agg.detection_probability_sem = detected.sem();
   if (latency_runs > 0) {
     agg.mean_isolation_latency = latency_sum / latency_runs;
+  }
+  agg.nodes_crashed /= n;
+  agg.nodes_recovered /= n;
+  agg.framed_accusations /= n;
+  agg.framed_isolations /= n;
+  if (agg.recovery_samples > 0) {
+    agg.mean_recovery_latency =
+        recovery_sum / static_cast<double>(agg.recovery_samples);
   }
   return agg;
 }

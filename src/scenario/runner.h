@@ -17,6 +17,12 @@ struct RunResult {
   std::uint64_t seed = 0;
   double average_degree = 0.0;
 
+  /// Set when the run did not complete (wall-clock watchdog fired); every
+  /// other field is then meaningless. Failed replicas are excluded from
+  /// Aggregate::reduce and flagged in the sweep JSON.
+  bool failed = false;
+  std::string fail_reason;
+
   std::uint64_t data_originated = 0;
   std::uint64_t data_delivered = 0;
   std::uint64_t data_dropped_malicious = 0;
@@ -49,6 +55,16 @@ struct RunResult {
 
   Time duration = 0.0;
   Time attack_start = 0.0;
+
+  // ---- Robustness outputs (a FaultPlan ran; all zero/empty otherwise) ----
+  /// True when the run executed a non-empty FaultPlan; gates the fault
+  /// block in the sweep JSON so clean output stays byte-identical.
+  bool fault_active = false;
+  std::uint64_t nodes_crashed = 0;
+  std::uint64_t nodes_recovered = 0;
+  /// Crash-recovery latencies (recover -> first re-authenticated
+  /// neighbor), one per completed recovery.
+  std::vector<Duration> recovery_latencies;
 
   /// Times of each wormhole-dropped data packet (Figure 8 series).
   std::vector<Time> drop_times;
@@ -87,8 +103,11 @@ struct RunResult {
 
 /// Builds a network from `config`, runs it to completion, extracts results.
 /// Calls config.finalize() and config.validate() internally, so callers
-/// cannot forget either.
-RunResult run_experiment(ExperimentConfig config);
+/// cannot forget either. With `wall_timeout_seconds` > 0 a run still
+/// executing that much real time later throws sim::WallClockTimeout (the
+/// sweep engine converts that into a failed replica).
+RunResult run_experiment(ExperimentConfig config,
+                         double wall_timeout_seconds = 0.0);
 
 /// Point of a time series.
 struct SeriesPoint {
@@ -118,6 +137,20 @@ struct Aggregate {
   /// Mean isolation latency over runs that reached complete isolation.
   std::optional<Duration> mean_isolation_latency;
   int runs_fully_isolated = 0;
+
+  // ---- Robustness rollup (nonzero only when replicas ran FaultPlans) ----
+  /// Replicas excluded from the averages because they failed (watchdog).
+  int failed_runs = 0;
+  /// True when any replica ran a non-empty FaultPlan.
+  bool fault_active = false;
+  double nodes_crashed = 0.0;
+  double nodes_recovered = 0.0;
+  /// Mean crash-recovery latency over all completed recoveries.
+  double mean_recovery_latency = 0.0;
+  std::uint64_t recovery_samples = 0;
+  /// Framing outcome (forensics flt.frame ground truth), averaged.
+  double framed_accusations = 0.0;
+  double framed_isolations = 0.0;
 
   /// The one aggregation code path (means + SEMs): used by average_runs and
   /// the sweep engine. Order-sensitive only in float-rounding terms, so

@@ -59,33 +59,65 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   std::mutex mutex;  // guards `done` / `error` / the drain and progress hooks
   std::size_t done = 0;
+  std::size_t skipped = 0;
   std::exception_ptr error;
   // Spec-order drain cursor: job j = p*runs + i is drained only after jobs
   // 0..j-1 have been, no matter which worker finishes when.
   std::vector<char> finished(total_jobs, 0);
+  // Replicas skipped by cancellation: never handed to spec.drain.
+  std::vector<char> undrainable(total_jobs, 0);
   std::size_t drain_next = 0;
 
+  auto cancelled = [&spec] { return spec.cancel && *spec.cancel != 0; };
+
   auto job = [&](std::size_t p, std::size_t i) {
-    try {
-      ExperimentConfig config = configs[p];
-      config.seed = spec.base_seed + spec.points[p].seed_offset +
-                    static_cast<std::uint64_t>(i);
-      const auto start = Clock::now();
-      RunResult result = run_experiment(std::move(config));
-      durations[p][i] = seconds_since(start);
-      replicas[p][i] = std::move(result);
-    } catch (...) {
+    const std::uint64_t seed = spec.base_seed + spec.points[p].seed_offset +
+                               static_cast<std::uint64_t>(i);
+    bool drainable = true;
+    if (cancelled()) {
+      // Skip without running: the replica is flagged so the reduction and
+      // the JSON report it honestly instead of averaging a zero-filled run.
+      RunResult& out = replicas[p][i];
+      out.seed = seed;
+      out.failed = true;
+      out.fail_reason = "cancelled";
+      drainable = false;
       std::lock_guard<std::mutex> lock(mutex);
-      if (!error) error = std::current_exception();
+      ++skipped;
+    } else {
+      try {
+        ExperimentConfig config = configs[p];
+        config.seed = seed;
+        const auto start = Clock::now();
+        RunResult result =
+            run_experiment(std::move(config), spec.run_timeout_seconds);
+        durations[p][i] = seconds_since(start);
+        replicas[p][i] = std::move(result);
+      } catch (const sim::WallClockTimeout& timeout) {
+        // A stuck point becomes a failed replica, not a hung pool.
+        RunResult& out = replicas[p][i];
+        out.seed = seed;
+        out.failed = true;
+        std::ostringstream reason;
+        reason << "wall-clock timeout after " << timeout.limit_seconds
+               << " s (virtual t=" << timeout.reached << ")";
+        out.fail_reason = reason.str();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
     }
     std::lock_guard<std::mutex> lock(mutex);
     ++done;
     finished[p * runs + i] = 1;
+    if (!drainable) undrainable[p * runs + i] = 1;
     if (spec.drain && !error) {
       while (drain_next < total_jobs && finished[drain_next] != 0) {
         const std::size_t dp = drain_next / runs;
         const std::size_t di = drain_next % runs;
-        spec.drain(dp, di, replicas[dp][di]);
+        if (undrainable[drain_next] == 0) {
+          spec.drain(dp, di, replicas[dp][di]);
+        }
         ++drain_next;
       }
     }
@@ -129,6 +161,8 @@ SweepResult run_sweep(const SweepSpec& spec) {
   }
   result.threads_used = static_cast<int>(threads);
   result.wall_seconds = seconds_since(sweep_start);
+  result.interrupted = cancelled();
+  result.jobs_skipped = skipped;
   return result;
 }
 
@@ -254,12 +288,33 @@ void emit_aggregate(JsonOut& json, const Aggregate& agg) {
   }
   json.key("runs_fully_isolated")
       .value(static_cast<std::uint64_t>(agg.runs_fully_isolated));
+  // Robustness keys appear only for fault-plan sweeps (or when replicas
+  // failed), keeping clean-run JSON byte-identical to previous releases.
+  if (agg.failed_runs > 0) {
+    json.key("failed_runs").value(static_cast<std::uint64_t>(agg.failed_runs));
+  }
+  if (agg.fault_active) {
+    json.key("nodes_crashed").value(agg.nodes_crashed);
+    json.key("nodes_recovered").value(agg.nodes_recovered);
+    json.key("mean_recovery_latency").value(agg.mean_recovery_latency);
+    json.key("recovery_samples").value(agg.recovery_samples);
+    json.key("framed_accusations").value(agg.framed_accusations);
+    json.key("framed_isolations").value(agg.framed_isolations);
+  }
   json.close('}');
 }
 
 void emit_replica(JsonOut& json, const RunResult& r) {
   json.open('{');
   json.key("seed").value(static_cast<std::uint64_t>(r.seed));
+  if (r.failed) {
+    // A failed replica's outputs are meaningless; emit the marker alone so
+    // downstream consumers cannot mistake zeros for results.
+    json.key("failed").value(true);
+    json.key("fail_reason").value(r.fail_reason);
+    json.close('}');
+    return;
+  }
   json.key("average_degree").value(r.average_degree);
   json.key("data_originated").value(r.data_originated);
   json.key("data_delivered").value(r.data_delivered);
@@ -285,12 +340,25 @@ void emit_replica(JsonOut& json, const RunResult& r) {
   json.key("frames_delivered").value(r.frames_delivered);
   json.key("frames_collided").value(r.frames_collided);
   json.key("mean_delivery_latency").value(r.mean_delivery_latency);
+  if (r.fault_active) {
+    json.key("fault").open('{');
+    json.key("nodes_crashed").value(r.nodes_crashed);
+    json.key("nodes_recovered").value(r.nodes_recovered);
+    json.key("recovery_latencies").open('[');
+    for (Duration latency : r.recovery_latencies) json.value(latency);
+    json.close(']');
+    json.close('}');
+  }
   if (r.forensics.enabled) {
     json.key("forensics").open('{');
     json.key("incidents").value(r.forensics.incidents);
     json.key("isolated_incidents").value(r.forensics.isolated_incidents);
     json.key("true_positives").value(r.forensics.true_positives);
     json.key("false_positives").value(r.forensics.false_positives);
+    if (r.forensics.framed_accusations > 0) {
+      json.key("framed_accusations").value(r.forensics.framed_accusations);
+      json.key("framed_isolations").value(r.forensics.framed_isolations);
+    }
     json.key("precision").value(r.forensics.precision());
     json.key("mean_detection_latency")
         .value(r.forensics.mean_detection_latency);
@@ -301,6 +369,7 @@ void emit_replica(JsonOut& json, const RunResult& r) {
       json.key("accused").value(static_cast<std::uint64_t>(inc.accused));
       json.key("malicious").value(inc.ground_truth_malicious);
       json.key("isolated").value(inc.isolated());
+      json.key("label").value(std::string(inc.label()));
       json.key("guards")
           .value(static_cast<std::uint64_t>(inc.accusing_guards.size()));
       json.key("detections").value(inc.detections);
@@ -389,6 +458,13 @@ std::string to_json(const SweepResult& result, bool include_timing) {
     json.close('}');
   }
   json.close(']');
+  // Present only on interrupted sweeps; absent keys keep complete-run JSON
+  // byte-identical across releases and thread counts.
+  if (result.interrupted) {
+    json.key("interrupted").value(true);
+    json.key("jobs_skipped")
+        .value(static_cast<std::uint64_t>(result.jobs_skipped));
+  }
   if (include_timing) {
     json.key("sweep_timing").open('{');
     json.key("wall_seconds").value(result.wall_seconds);

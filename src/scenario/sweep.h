@@ -8,6 +8,7 @@
 // finished; threads only change wall-clock time.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -46,9 +47,24 @@ struct SweepSpec {
   /// interleaving, under the engine's lock. The RunResult is mutable so the
   /// callback can stream-and-clear heavy fields (trace_jsonl) before the
   /// engine stores the replica: streamed output is byte-identical at any
-  /// thread count. Not called once a job has failed.
+  /// thread count. Not called once a job has errored, and not called for
+  /// replicas skipped by cancellation.
   std::function<void(std::size_t point, std::size_t replica, RunResult&)>
       drain;
+
+  /// Cooperative cancellation (SIGINT/SIGTERM): when the pointed-to flag
+  /// becomes nonzero, jobs not yet started are skipped (their replicas are
+  /// marked failed with reason "cancelled"), in-flight jobs finish and are
+  /// drained normally, and run_sweep returns with `interrupted` set — so
+  /// an interrupted --json / --trace-out sweep still emits complete,
+  /// parseable output for every point that ran.
+  const volatile std::sig_atomic_t* cancel = nullptr;
+
+  /// Per-replica wall-clock watchdog (seconds; 0 disables): a run still
+  /// executing this much real time later is aborted via
+  /// sim::WallClockTimeout and recorded as a failed replica instead of
+  /// hanging the worker pool forever.
+  double run_timeout_seconds = 0.0;
 };
 
 /// One swept point's outputs, in spec order.
@@ -71,6 +87,10 @@ struct SweepResult {
   /// End-to-end wall-clock of the whole sweep.
   double wall_seconds = 0.0;
   int threads_used = 1;
+  /// True when the spec's cancel flag fired before every job completed.
+  bool interrupted = false;
+  /// Jobs skipped due to cancellation (their replicas carry failed=true).
+  std::size_t jobs_skipped = 0;
 };
 
 /// Runs |points| x runs independent simulations. Each point's config is

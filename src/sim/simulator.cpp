@@ -45,6 +45,26 @@ EventHandle Simulator::schedule_cancellable(Duration delay,
   return EventHandle(std::move(flag));
 }
 
+void Simulator::set_wall_timeout(double seconds) {
+  wall_limit_seconds_ = seconds;
+  wall_check_countdown_ = kWallCheckStride;
+  if (seconds > 0.0) {
+    wall_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  }
+}
+
+void Simulator::check_wall_deadline() {
+  if (wall_limit_seconds_ <= 0.0) return;
+  if (--wall_check_countdown_ != 0) return;
+  wall_check_countdown_ = kWallCheckStride;
+  if (std::chrono::steady_clock::now() >= wall_deadline_) {
+    throw WallClockTimeout(wall_limit_seconds_, now_);
+  }
+}
+
 std::uint64_t Simulator::run_until(Time horizon) {
   std::uint64_t count = 0;
   while (!queue_.empty() && queue_.top().when <= horizon) {
@@ -66,6 +86,7 @@ std::uint64_t Simulator::run_until(Time horizon) {
     current_seq_ = kNoEvent;
     ++count;
     ++executed_;
+    check_wall_deadline();
   }
   if (now_ < horizon) now_ = horizon;
   return count;
@@ -89,6 +110,7 @@ std::uint64_t Simulator::run_all() {
     current_seq_ = kNoEvent;
     ++count;
     ++executed_;
+    check_wall_deadline();
   }
   return count;
 }

@@ -5,9 +5,11 @@
 // order, which keeps runs deterministic for a given seed.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/small_fn.h"
@@ -34,6 +36,19 @@ class EventHandle {
   explicit EventHandle(std::shared_ptr<bool> flag)
       : cancelled_(std::move(flag)) {}
   std::shared_ptr<bool> cancelled_;
+};
+
+/// Thrown from run_until()/run_all() when a wall-clock deadline set with
+/// set_wall_timeout() expires. Carries the virtual time reached, so the
+/// caller can report how far the stuck run got.
+class WallClockTimeout : public std::runtime_error {
+ public:
+  WallClockTimeout(double limit_seconds, Time reached)
+      : std::runtime_error("simulation exceeded wall-clock limit"),
+        limit_seconds(limit_seconds),
+        reached(reached) {}
+  double limit_seconds;
+  Time reached;
 };
 
 class Simulator {
@@ -68,6 +83,14 @@ class Simulator {
 
   /// Runs until the queue drains completely.
   std::uint64_t run_all();
+
+  /// Arms a wall-clock watchdog: if a subsequent run_until()/run_all()
+  /// call is still executing `seconds` of real time later, it throws
+  /// WallClockTimeout. The check runs once every few thousand events, so
+  /// the clean-path cost is a counter decrement. seconds <= 0 disarms.
+  /// This is how the sweep harness turns a stuck point into a failed
+  /// point instead of a hung worker pool.
+  void set_wall_timeout(double seconds);
 
   /// Number of events currently queued (including cancelled ones).
   std::size_t pending() const { return queue_.size(); }
@@ -116,6 +139,10 @@ class Simulator {
 
   void push(Time when, SmallFn action, std::shared_ptr<bool> cancelled);
   std::uint32_t acquire_slot();
+  /// Amortized deadline probe: real check every kWallCheckStride events.
+  void check_wall_deadline();
+
+  static constexpr std::uint32_t kWallCheckStride = 4096;
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
       queue_;
@@ -126,6 +153,11 @@ class Simulator {
   std::uint64_t current_seq_ = kNoEvent;
   std::uint64_t executed_ = 0;
   std::size_t max_pending_ = 0;
+  /// Wall-clock watchdog state; wall_limit_seconds_ <= 0 means disarmed
+  /// (the per-event cost is then a single predictable branch).
+  double wall_limit_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  std::uint32_t wall_check_countdown_ = kWallCheckStride;
 };
 
 }  // namespace lw::sim

@@ -1,0 +1,203 @@
+// FaultPlan validation: every rejection path produces an actionable
+// std::invalid_argument, both directly and through
+// ExperimentConfig::validate() (the path every runner takes).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fault/plan.h"
+#include "scenario/config.h"
+
+namespace lw {
+namespace {
+
+/// Returns the rejection message, or "" if the plan validated.
+std::string rejection(const fault::FaultPlan& plan, std::size_t nodes) {
+  try {
+    plan.validate(nodes);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+void expect_rejects(const fault::FaultPlan& plan, std::size_t nodes,
+                    const std::string& needle) {
+  const std::string message = rejection(plan, nodes);
+  EXPECT_FALSE(message.empty()) << "plan unexpectedly validated";
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "message \"" << message << "\" lacks \"" << needle << "\"";
+}
+
+TEST(FaultPlanValidate, EmptyPlanAlwaysValidates) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(rejection(plan, 10), "");
+  EXPECT_EQ(rejection(plan, 0), "");  // empty plan, empty network: fine
+}
+
+TEST(FaultPlanValidate, NonEmptyPlanOnEmptyNetwork) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 0, .at = 1.0});
+  expect_rejects(plan, 0, "empty network");
+}
+
+TEST(FaultPlanValidate, CrashNodeOutOfRange) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 10, .at = 1.0});
+  expect_rejects(plan, 10, "only has nodes 0..9");
+}
+
+TEST(FaultPlanValidate, CrashNegativeTime) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 1, .at = -0.5});
+  expect_rejects(plan, 10, "negative crash time");
+}
+
+TEST(FaultPlanValidate, RecoveryNotAfterCrash) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 1, .at = 10.0, .recover_at = 10.0});
+  expect_rejects(plan, 10, "not after its crash");
+}
+
+TEST(FaultPlanValidate, OverlappingCrashWindowsSameNode) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 3, .at = 10.0, .recover_at = 50.0});
+  plan.crashes.push_back({.node = 3, .at = 40.0, .recover_at = 90.0});
+  expect_rejects(plan, 10, "overlap on node 3");
+}
+
+TEST(FaultPlanValidate, PermanentCrashOverlapsEverythingLater) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 3, .at = 10.0});  // never recovers
+  plan.crashes.push_back({.node = 3, .at = 500.0, .recover_at = 600.0});
+  expect_rejects(plan, 10, "overlap on node 3");
+}
+
+TEST(FaultPlanValidate, DisjointCrashWindowsValidate) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 3, .at = 10.0, .recover_at = 50.0});
+  plan.crashes.push_back({.node = 3, .at = 50.0, .recover_at = 90.0});
+  plan.crashes.push_back({.node = 4, .at = 20.0, .recover_at = 60.0});
+  EXPECT_EQ(rejection(plan, 10), "");
+}
+
+TEST(FaultPlanValidate, LinkNodeOutOfRange) {
+  fault::FaultPlan plan;
+  plan.links.push_back({.a = 1, .b = 12, .from = 0.0, .until = 5.0});
+  expect_rejects(plan, 10, "references node 12");
+}
+
+TEST(FaultPlanValidate, LinkSelfLoop) {
+  fault::FaultPlan plan;
+  plan.links.push_back({.a = 4, .b = 4, .from = 0.0, .until = 5.0});
+  expect_rejects(plan, 10, "connects node 4 to itself");
+}
+
+TEST(FaultPlanValidate, LinkEmptyWindow) {
+  fault::FaultPlan plan;
+  plan.links.push_back({.a = 1, .b = 2, .from = 5.0, .until = 5.0});
+  expect_rejects(plan, 10, "empty or negative window");
+}
+
+TEST(FaultPlanValidate, LinkExtraLossOutOfRange) {
+  fault::FaultPlan plan;
+  plan.links.push_back(
+      {.a = 1, .b = 2, .from = 0.0, .until = 5.0, .extra_loss = 1.5});
+  expect_rejects(plan, 10, "must be in (0, 1]");
+}
+
+TEST(FaultPlanValidate, FramingVictimOutOfRange) {
+  fault::FaultPlan plan;
+  plan.framings.push_back({.victim = 10, .guards = 1, .start = 0.0});
+  expect_rejects(plan, 10, "references node 10");
+}
+
+TEST(FaultPlanValidate, FramingZeroGuards) {
+  fault::FaultPlan plan;
+  plan.framings.push_back({.victim = 2, .guards = 0, .start = 0.0});
+  expect_rejects(plan, 10, "zero guards");
+}
+
+TEST(FaultPlanValidate, FramingNegativeStart) {
+  fault::FaultPlan plan;
+  plan.framings.push_back({.victim = 2, .guards = 1, .start = -1.0});
+  expect_rejects(plan, 10, "negative start time");
+}
+
+TEST(FaultPlanValidate, FramingNoAlerts) {
+  fault::FaultPlan plan;
+  plan.framings.push_back(
+      {.victim = 2, .guards = 1, .start = 0.0, .alerts_per_guard = 0});
+  expect_rejects(plan, 10, "at least one alert");
+}
+
+TEST(FaultPlanValidate, FramingNegativeGap) {
+  fault::FaultPlan plan;
+  plan.framings.push_back({.victim = 2,
+                           .guards = 1,
+                           .start = 0.0,
+                           .alerts_per_guard = 2,
+                           .gap = -5.0});
+  expect_rejects(plan, 10, "negative alert gap");
+}
+
+TEST(FaultPlanValidate, CorruptionNodeOutOfRange) {
+  fault::FaultPlan plan;
+  plan.corruptions.push_back({.node = 11, .from = 0.0, .until = 5.0});
+  expect_rejects(plan, 10, "references node 11");
+}
+
+TEST(FaultPlanValidate, CorruptionEmptyWindow) {
+  fault::FaultPlan plan;
+  plan.corruptions.push_back({.node = 2, .from = 7.0, .until = 3.0});
+  expect_rejects(plan, 10, "empty or negative window");
+}
+
+TEST(FaultPlanValidate, CorruptionBadProbability) {
+  fault::FaultPlan plan;
+  plan.corruptions.push_back(
+      {.node = 2, .from = 0.0, .until = 5.0, .probability = 0.0});
+  expect_rejects(plan, 10, "must be in (0, 1]");
+}
+
+TEST(FaultPlanValidate, BadHardeningKnobs) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({.node = 1, .at = 1.0});
+  plan.neighbor_age_timeout = 0.0;
+  expect_rejects(plan, 10, "neighbor_age_timeout");
+  plan.neighbor_age_timeout = 120.0;
+  plan.neighbor_age_sweep_interval = -1.0;
+  expect_rejects(plan, 10, "neighbor_age_sweep_interval");
+}
+
+// The runner path: a bad plan dies inside ExperimentConfig::validate()
+// before any network is built, with the FaultPlan prefix intact.
+TEST(ExperimentConfigValidate, RejectsBadFaultPlan) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = 20;
+  config.fault.crashes.push_back({.node = 20, .at = 1.0});
+  config.finalize();
+  try {
+    config.validate();
+    FAIL() << "bad fault plan passed ExperimentConfig::validate()";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("FaultPlan:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("node 20"), std::string::npos);
+  }
+}
+
+// Late joiners extend the valid id range: ids in
+// [node_count, node_count + late_joiners) are addressable fault targets.
+TEST(ExperimentConfigValidate, LateJoinerIdsAreValidTargets) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = 20;
+  config.late_joiners = 2;
+  config.fault.crashes.push_back({.node = 21, .at = 300.0});
+  config.finalize();
+  EXPECT_NO_THROW(config.validate());
+}
+
+}  // namespace
+}  // namespace lw

@@ -59,6 +59,23 @@ TEST(EventVocabulary, EveryKindIsEmittedBySomeScenario) {
   lossy.routing.pending_queue_limit = 1;
   run_and_count(lossy, &counts);
 
+  // Fault-plan scenario for the flt.* vocabulary: a crash-and-recover
+  // cycle, a transient link outage, a framing campaign, and a corruption
+  // window (dense enough that at least one frame is tagged).
+  auto faulted = scenario::ExperimentConfig::table2_defaults();
+  faulted.node_count = 25;
+  faulted.seed = 13;
+  faulted.duration = 120.0;
+  faulted.malicious_count = 0;
+  faulted.fault.crashes.push_back({.node = 3, .at = 20.0, .recover_at = 60.0});
+  faulted.fault.links.push_back(
+      {.a = 1, .b = 2, .from = 10.0, .until = 40.0, .extra_loss = 1.0});
+  faulted.fault.framings.push_back(
+      {.victim = 5, .guards = 1, .start = 30.0, .alerts_per_guard = 2});
+  faulted.fault.corruptions.push_back(
+      {.node = 4, .from = 5.0, .until = 115.0, .probability = 1.0});
+  run_and_count(faulted, &counts);
+
   for (std::size_t i = 0; i < kEventKindCount; ++i) {
     const EventKind kind = static_cast<EventKind>(i);
     EXPECT_GT(counts.count(kind), 0u)

@@ -27,6 +27,7 @@ TEST(EventVocabulary, LayerNamesAreShortAndStable) {
   EXPECT_STREQ(to_string(Layer::kRouting), "route");
   EXPECT_STREQ(to_string(Layer::kMonitor), "mon");
   EXPECT_STREQ(to_string(Layer::kAttack), "atk");
+  EXPECT_STREQ(to_string(Layer::kFault), "flt");
 }
 
 TEST(EventVocabulary, EveryKindMapsToItsLayer) {
@@ -37,6 +38,8 @@ TEST(EventVocabulary, EveryKindMapsToItsLayer) {
   EXPECT_EQ(layer_of(EventKind::kRouteError), Layer::kRouting);
   EXPECT_EQ(layer_of(EventKind::kMonIsolation), Layer::kMonitor);
   EXPECT_EQ(layer_of(EventKind::kAtkDrop), Layer::kAttack);
+  EXPECT_EQ(layer_of(EventKind::kFltCrash), Layer::kFault);
+  EXPECT_EQ(layer_of(EventKind::kFltCorrupt), Layer::kFault);
 }
 
 TEST(EventVocabulary, EveryKindHasANonEmptyName) {
@@ -56,7 +59,7 @@ TEST(ParseLayerMask, SingleAndCommaSeparatedLayers) {
   EXPECT_EQ(parse_layer_mask("phy"), layer_bit(Layer::kPhy));
   EXPECT_EQ(parse_layer_mask("mon,atk"),
             layer_bit(Layer::kMonitor) | layer_bit(Layer::kAttack));
-  EXPECT_EQ(parse_layer_mask("phy,mac,nbr,route,mon,atk"), kAllLayers);
+  EXPECT_EQ(parse_layer_mask("phy,mac,nbr,route,mon,atk,flt"), kAllLayers);
 }
 
 TEST(ParseLayerMask, UnknownLayerThrows) {

@@ -173,7 +173,9 @@ std::vector<Segment> fold_incidents(const std::vector<TraceRecord>& records) {
 
 void print_incident_text(const Incident& inc) {
   std::printf("  accused %-4u %-9s %s  guards=%zu [", inc.accused,
-              inc.ground_truth_malicious ? "MALICIOUS" : "honest",
+              inc.ground_truth_malicious ? "MALICIOUS"
+              : inc.framed              ? "FRAMED"
+                                        : "honest",
               inc.isolated() ? "ISOLATED" : "detected",
               inc.accusing_guards.size());
   for (std::size_t i = 0; i < inc.accusing_guards.size(); ++i) {
@@ -198,14 +200,28 @@ void print_incident_text(const Incident& inc) {
   if (inc.detection_latency() >= 0.0) {
     std::printf("  latency=%.6f", inc.detection_latency());
   }
+  if (inc.framed && !inc.framers.empty()) {
+    std::printf("  framers=[");
+    for (std::size_t i = 0; i < inc.framers.size(); ++i) {
+      std::printf("%s%u", i == 0 ? "" : ",", inc.framers[i]);
+    }
+    std::printf("]");
+  }
   std::printf("  %s\n", inc.ground_truth_malicious ? "TRUE-POSITIVE"
+              : inc.framed                         ? "FRAMED"
                                                    : "FALSE-POSITIVE");
 }
 
 void print_incident_json(const Incident& inc, bool last) {
-  std::printf("    {\"accused\":%u,\"malicious\":%s,\"isolated\":%s",
-              inc.accused, inc.ground_truth_malicious ? "true" : "false",
+  std::printf("    {\"accused\":%u,\"label\":\"%s\",\"malicious\":%s,\"isolated\":%s",
+              inc.accused, inc.label(),
+              inc.ground_truth_malicious ? "true" : "false",
               inc.isolated() ? "true" : "false");
+  std::printf(",\"framers\":[");
+  for (std::size_t i = 0; i < inc.framers.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ",", inc.framers[i]);
+  }
+  std::printf("]");
   std::printf(",\"guards\":[");
   for (std::size_t i = 0; i < inc.accusing_guards.size(); ++i) {
     std::printf("%s%u", i == 0 ? "" : ",", inc.accusing_guards[i]);
@@ -255,6 +271,11 @@ int cmd_incidents(const std::string& path, bool json) {
         static_cast<unsigned long long>(summary.true_positives),
         static_cast<unsigned long long>(summary.false_positives),
         summary.precision());
+    if (summary.framed_accusations > 0) {
+      std::printf(", %llu framed (%llu isolated)",
+                  static_cast<unsigned long long>(summary.framed_accusations),
+                  static_cast<unsigned long long>(summary.framed_isolations));
+    }
     if (summary.latency_samples > 0) {
       std::printf(", mean detection latency %.6f s over %llu",
                   summary.mean_detection_latency,
