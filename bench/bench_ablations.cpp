@@ -42,12 +42,12 @@ int main(int argc, char** argv) {
       {"strict per-link fabrication check",
        "false suspicions/isolations jump: every collision convicts",
        [](lw::scenario::ExperimentConfig& c) {
-         c.liteworp.strict_link_check = true;
+         c.defense.liteworp.strict_link_check = true;
        }},
       {"no kappa-block reset",
        "noise accumulates forever; honest nodes eventually convicted",
        [](lw::scenario::ExperimentConfig& c) {
-         c.liteworp.window_packets = 0;
+         c.defense.liteworp.window_packets = 0;
        }},
       {"no link-layer ARQ",
        "multihop unicast dies to hidden terminals; delivery collapses",
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       {"gamma = 1 (single-guard isolation)",
        "fastest isolation, but a single framing guard could evict anyone",
        [](lw::scenario::ExperimentConfig& c) {
-         c.liteworp.detection_confidence = 1;
+         c.defense.liteworp.detection_confidence = 1;
        }},
       {"naive attacker (announces colluder)",
        "admission checks kill the wormhole before guards even matter",

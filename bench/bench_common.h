@@ -21,6 +21,13 @@
 //   --run-timeout=S  per-replica wall-clock watchdog: a run still executing
 //                after S real seconds is aborted and reported as a failed
 //                replica instead of hanging the worker pool (0 = off)
+//   --defense=NAME   defense backend for the sweep's base config
+//                (liteworp, leash, zscore, none); default leaves the
+//                bench's own choice in place
+//   --defense-opt=K=V[,K=V...]  backend parameters by dotted key, e.g.
+//                --defense-opt=zscore.z_threshold=3,zscore.min_peers=4
+//                (comma-separated because lw::Config keeps one value per
+//                flag)
 //   --quiet      suppress the stderr progress line (on by default when
 //                stderr is a TTY)
 //
@@ -49,6 +56,7 @@
 #include <string>
 #include <utility>
 
+#include "defense/defense.h"
 #include "obs/event.h"
 #include "scenario/sweep.h"
 #include "util/config.h"
@@ -69,6 +77,10 @@ struct Common {
   bool quiet = false;
   /// Per-replica wall-clock watchdog in seconds; 0 disables.
   double run_timeout = 0.0;
+  /// Defense backend override (--defense); empty = keep the bench default.
+  std::string defense;
+  /// Comma-separated dotted k=v backend parameters (--defense-opt).
+  std::string defense_opts;
 };
 
 inline Common parse_common(const lw::Config& args, int default_runs,
@@ -88,6 +100,18 @@ inline Common parse_common(const lw::Config& args, int default_runs,
   common.profile = args.get_bool("profile", false);
   common.quiet = args.get_bool("quiet", false);
   common.run_timeout = args.get_double("run-timeout", 0.0);
+  common.defense = args.get_string("defense", "");
+  common.defense_opts = args.get_string("defense-opt", "");
+  if (!common.defense.empty() && !lw::defense::known(common.defense)) {
+    std::string names;
+    for (const std::string& name : lw::defense::registry()) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    std::fprintf(stderr, "--defense: unknown backend \"%s\" (registered: %s)\n",
+                 common.defense.c_str(), names.c_str());
+    std::exit(1);
+  }
   const std::string filter = args.get_string("trace-filter", "all");
   try {
     common.trace_layers = lw::obs::parse_layer_mask(filter);
@@ -98,10 +122,36 @@ inline Common parse_common(const lw::Config& args, int default_runs,
   return common;
 }
 
+/// Applies --defense / --defense-opt to one config (validation errors make
+/// the bench exit non-zero with the backend's message before any run).
+inline void apply_defense(const Common& common,
+                          lw::scenario::ExperimentConfig& config) {
+  if (!common.defense.empty()) config.defense.name = common.defense;
+  std::string opts = common.defense_opts;
+  while (!opts.empty()) {
+    const std::size_t comma = opts.find(',');
+    const std::string pair = opts.substr(0, comma);
+    opts = comma == std::string::npos ? "" : opts.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--defense-opt: expected key=value, got \"%s\"\n",
+                   pair.c_str());
+      std::exit(1);
+    }
+    try {
+      lw::defense::set_option(config.defense, pair.substr(0, eq),
+                              pair.substr(eq + 1));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--defense-opt: %s\n", e.what());
+      std::exit(1);
+    }
+  }
+}
+
 /// Applies the common knobs to a sweep spec (including the observability
 /// switches: tracing when --trace/--trace-out was given, counters and
 /// profiling under --trace/--profile, forensic incident folding whenever a
-/// trace is requested).
+/// trace is requested — or when the bench itself enabled it).
 inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
   const bool tracing =
       !common.trace_file.empty() || !common.trace_out_file.empty();
@@ -112,8 +162,9 @@ inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
   spec.base.obs.trace_layers = common.trace_layers;
   spec.base.obs.profile = common.profile;
   spec.base.obs.counters = common.profile || tracing;
-  spec.base.obs.forensics = tracing;
+  spec.base.obs.forensics = tracing || spec.base.obs.forensics;
   spec.run_timeout_seconds = common.run_timeout;
+  apply_defense(common, spec.base);
 }
 
 namespace detail {

@@ -1,8 +1,10 @@
-// Comparison harness: LITEWORP vs temporal packet leashes (Hu et al.) —
-// the quantitative version of the paper's Section 2 related-work argument.
+// Comparison harness: the defense zoo head to head — LITEWORP's guard
+// monitoring vs temporal packet leashes (Hu et al.) vs the Z-score
+// neighbor-table detector vs no defense — the quantitative version of the
+// paper's Section 2 related-work argument.
 //
-// For each attack mode, three defenses run on the same field and seeds:
-// none, leash-only, LITEWORP-only. Columns are the wormhole's footprint.
+// For each attack mode, every registered backend runs on the same field
+// and seeds (common random numbers). Columns are the wormhole's footprint.
 //
 //   ./bench_comparison_leash [--runs=2] [--seed=900] [--threads=1]
 //                            [--json] [--duration=400] [--nodes=60]
@@ -10,18 +12,24 @@
 //
 // Standard flags (bench_common.h): --runs replicas per (mode, defense)
 // cell, --seed base seed, --threads sweep workers (results identical for
-// any count), --json machine-readable sweep dump.
+// any count), --json machine-readable sweep dump. Backend parameters are
+// tuned with the shared --defense-opt flag, e.g.
+// --defense-opt=zscore.z_threshold=3 (applied to every point).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "attack/modes.h"
 #include "bench_common.h"
+#include "defense/defense.h"
 #include "scenario/sweep.h"
 #include "util/config.h"
 
 namespace {
 
-constexpr const char* kDefenseNames[] = {"none", "leash", "liteworp"};
+/// Backends in table-column order: baseline first, detectors last.
+const std::vector<std::string> kDefenses = {"none", "leash", "zscore",
+                                            "liteworp"};
 
 double isolated_fraction(const lw::scenario::SweepPointResult& point) {
   double isolated = 0.0;
@@ -49,23 +57,21 @@ int main(int argc, char** argv) {
   spec.base = lw::scenario::ExperimentConfig::table2_defaults();
   spec.base.node_count = nodes;
   spec.base.duration = duration;
-  // Points in row-major (mode, defense) order: defense 0 = none,
-  // 1 = leash-only, 2 = LITEWORP-only.
+  // Points in row-major (mode, defense) order, defenses as in kDefenses.
   for (const auto& row : lw::attack::attack_mode_table()) {
-    for (int defense = 0; defense < 3; ++defense) {
+    for (const std::string& defense : kDefenses) {
       const auto mode = row.mode;
       const int malicious = row.min_compromised_nodes;
       spec.points.push_back(
-          {std::string(row.name) + " / " + kDefenseNames[defense],
+          {std::string(row.name) + " / " + defense,
            [mode, malicious, defense,
             perfect_clocks](lw::scenario::ExperimentConfig& c) {
              c.malicious_count = static_cast<std::size_t>(malicious);
              c.attack.mode = mode;
-             c.liteworp.enabled = defense == 2;
-             c.leash.enabled = defense == 1;
+             c.defense.name = defense;
              if (perfect_clocks) {
-               c.leash.sync_error = 0.0;
-               c.leash.processing_slack = 0.0;
+               c.defense.leash.sync_error = 0.0;
+               c.defense.leash.processing_slack = 0.0;
              }
            },
            0});
@@ -78,46 +84,53 @@ int main(int argc, char** argv) {
     return bench::finish(args);
   }
 
-  std::puts("== LITEWORP vs temporal packet leashes (Section 2 argument) ==");
+  std::puts("== Defense zoo vs the attack taxonomy (Section 2 argument) ==");
   std::printf("%zu nodes, %.0f s, %d run(s); leash clock sync: %s; "
               "%d thread(s), %.1f s wall\n\n",
               nodes, duration, common.runs,
               perfect_clocks ? "perfect" : "1 us (TIK-era)",
               result.threads_used, result.wall_seconds);
-  std::printf("%-24s | %-26s | %-26s | %s\n", "",
+  std::printf("%-24s | %-35s | %-35s | %s\n", "",
               "wormhole routes", "wormhole data drops", "isolated frac");
-  std::printf("%-24s | %-8s %-8s %-8s | %-8s %-8s %-8s | %s\n", "mode",
-              "none", "leash", "LITEWORP", "none", "leash", "LITEWORP",
-              "LITEWORP");
+  std::printf("%-24s | %-8s %-8s %-8s %-8s | %-8s %-8s %-8s %-8s | "
+              "%-8s %s\n",
+              "mode", "none", "leash", "zscore", "litewrp", "none", "leash",
+              "zscore", "litewrp", "zscore", "litewrp");
 
   std::size_t p = 0;
   for (const auto& row : lw::attack::attack_mode_table()) {
     const auto& none = result.points[p];
     const auto& leash = result.points[p + 1];
-    const auto& lworp = result.points[p + 2];
-    p += 3;
-    std::printf("%-24s | %-8.1f %-8.1f %-8.1f | %-8.0f %-8.0f %-8.0f | %.2f\n",
+    const auto& zscore = result.points[p + 2];
+    const auto& lworp = result.points[p + 3];
+    p += kDefenses.size();
+    std::printf("%-24s | %-8.1f %-8.1f %-8.1f %-8.1f | "
+                "%-8.0f %-8.0f %-8.0f %-8.0f | %-8.2f %.2f\n",
                 std::string(row.name).c_str(),
                 none.aggregate.wormhole_routes,
                 leash.aggregate.wormhole_routes,
+                zscore.aggregate.wormhole_routes,
                 lworp.aggregate.wormhole_routes,
                 none.aggregate.data_dropped_malicious,
                 leash.aggregate.data_dropped_malicious,
+                zscore.aggregate.data_dropped_malicious,
                 lworp.aggregate.data_dropped_malicious,
-                isolated_fraction(lworp));
+                isolated_fraction(zscore), isolated_fraction(lworp));
   }
 
   std::puts(
       "\nexpected shape (the paper's related-work argument, measured):\n"
-      "  - packet relay: both defenses stop the forged link (stale stamp\n"
-      "    vs neighbor-list check);\n"
+      "  - packet relay: leash and LITEWORP both stop the forged link\n"
+      "    (stale stamp vs neighbor-list check);\n"
       "  - high power: LITEWORP rejects via neighbor lists; the leash\n"
       "    needs perfect clocks to see sub-microsecond extra flight\n"
       "    (rerun with --perfect_clocks=true);\n"
       "  - encapsulation / out-of-band INSIDER tunnels: the leash is\n"
       "    blind (fresh truthful stamps at both tunnel ends); LITEWORP\n"
-      "    detects AND isolates;\n"
-      "  - protocol deviation: neither helps;\n"
-      "  - only LITEWORP ever removes the attacker (isolated column).");
+      "    detects AND isolates, and the Z-score detector flags the\n"
+      "    endpoints statistically;\n"
+      "  - protocol deviation: no backend helps;\n"
+      "  - only the accusation-based backends (LITEWORP, zscore) ever\n"
+      "    remove the attacker (isolated columns).");
   return bench::finish(args);
 }

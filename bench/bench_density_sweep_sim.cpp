@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   if (int status = bench::finish(args)) return status;
 
   const int default_gamma = lw::scenario::ExperimentConfig::table2_defaults()
-                                .liteworp.detection_confidence;
+                                .defense.liteworp.detection_confidence;
 
   lw::scenario::SweepSpec spec;
   spec.base = lw::scenario::ExperimentConfig::table2_defaults();
@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
            c.target_neighbors = static_cast<double>(nb);
            // gamma must stay below the expected guard count (coverage
            // analysis).
-           c.liteworp.detection_confidence = nb <= 6 ? 2 : default_gamma;
+           c.defense.liteworp.detection_confidence =
+               nb <= 6 ? 2 : default_gamma;
          },
          0});
   }

@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   spec.base.node_count = nodes;
   spec.base.duration = duration;
   spec.base.malicious_count = 2;
-  const int gamma = spec.base.liteworp.detection_confidence;
+  const int gamma = spec.base.defense.liteworp.detection_confidence;
 
   const double crash_rates[] = {0.0, 0.1, 0.2};
   const std::size_t frame_levels[] = {

@@ -53,14 +53,15 @@ int main(int argc, char** argv) {
   // lower their bar on hearsay, and with it enabled the detection cascade
   // erases the gamma sensitivity this figure is about (see EXPERIMENTS.md
   // for the with-extension numbers).
-  spec.base.liteworp.corroborated_threshold =
-      spec.base.liteworp.malc_threshold;
+  spec.base.defense.liteworp.corroborated_threshold =
+      spec.base.defense.liteworp.malc_threshold;
   for (int gamma = gamma_min; gamma <= gamma_max; ++gamma) {
-    spec.points.push_back({"gamma=" + std::to_string(gamma),
-                           [gamma](lw::scenario::ExperimentConfig& c) {
-                             c.liteworp.detection_confidence = gamma;
-                           },
-                           0});
+    spec.points.push_back(
+        {"gamma=" + std::to_string(gamma),
+         [gamma](lw::scenario::ExperimentConfig& c) {
+           c.defense.liteworp.detection_confidence = gamma;
+         },
+         0});
   }
   const auto result = bench::run_sweep(common, std::move(spec));
 

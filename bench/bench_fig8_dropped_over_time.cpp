@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         {s.label,
          [malicious, liteworp](lw::scenario::ExperimentConfig& c) {
            c.malicious_count = malicious;
-           c.liteworp.enabled = liteworp;
+           c.defense.name = liteworp ? "liteworp" : "none";
          },
          0});
   }

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
           {"M=" + std::to_string(m) + (liteworp ? " liteworp" : " baseline"),
            [m, liteworp](lw::scenario::ExperimentConfig& c) {
              c.malicious_count = static_cast<std::size_t>(m);
-             c.liteworp.enabled = liteworp;
+             c.defense.name = liteworp ? "liteworp" : "none";
            },
            0});
     }

@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
            [mode, malicious, liteworp](lw::scenario::ExperimentConfig& c) {
              c.malicious_count = static_cast<std::size_t>(malicious);
              c.attack.mode = mode;
-             c.liteworp.enabled = liteworp;
+             c.defense.name = liteworp ? "liteworp" : "none";
            },
            offset});
     }

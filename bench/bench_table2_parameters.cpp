@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
         .field("malicious_count", static_cast<double>(config.malicious_count))
         .field("duration_s", config.duration)
         .field("gamma",
-               static_cast<double>(config.liteworp.detection_confidence));
+               static_cast<double>(
+                   config.defense.liteworp.detection_confidence));
     rows.end_row();
     std::puts(rows.str().c_str());
     return bench::finish(args);

@@ -34,7 +34,7 @@ void narrate(const lw::attack::ModeInfo& info,
     config.attack.mode = info.mode;
     config.malicious_count =
         static_cast<std::size_t>(info.min_compromised_nodes);
-    config.liteworp.enabled = liteworp;
+    config.defense.name = liteworp ? "liteworp" : "none";
     if (info.mode == lw::attack::WormholeMode::kRushing) config.seed = 28;
     config.finalize();
 

@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
   // the paper's full workload does.
   config.traffic.data_rate = 1.0 / 15.0;
   config.traffic.destination_change_rate = 1.0 / 60.0;
-  config.liteworp.enabled = liteworp;
-  config.liteworp.detection_confidence = 2;  // tiny field, few guards
+  config.defense.name = liteworp ? "liteworp" : "none";
+  config.defense.liteworp.detection_confidence = 2;  // tiny field, few guards
   config.duration = 300.0;
   config.finalize();
   warn_unread_flags(args);

@@ -1,7 +1,8 @@
 // Quickstart: a 50-node sensor field, two colluders opening an out-of-band
 // wormhole at t = 50 s, and LITEWORP detecting and isolating them.
 //
-//   ./quickstart [--nodes=50] [--seed=3] [--liteworp=true] [--duration=600]
+//   ./quickstart [--nodes=50] [--seed=3] [--duration=600]
+//                [--defense=liteworp|leash|zscore|none]
 //                [--mode=oob|encap|highpower|relay|rushing] [--malicious=2]
 #include <cstdio>
 #include <iostream>
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("nodes", 50));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   config.duration = args.get_double("duration", 600.0);
-  config.liteworp.enabled = args.get_bool("liteworp", true);
+  config.defense.name = args.get_string("defense", "liteworp");
   config.malicious_count =
       static_cast<std::size_t>(args.get_int("malicious", 2));
   config.attack.mode = parse_mode(args.get_string("mode", "oob"));

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   config.duration = args.get_double("duration", 2000.0);
   config.malicious_count =
       static_cast<std::size_t>(args.get_int("malicious", 2));
-  config.liteworp.enabled = args.get_bool("liteworp", true);
+  config.defense.name = args.get_bool("liteworp", true) ? "liteworp" : "none";
   config.finalize();
   warn_unread_flags(args);
 

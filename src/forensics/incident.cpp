@@ -36,6 +36,7 @@ void IncidentBuilder::on_event(const obs::Event& event) {
   if (accused == kInvalidNode) return;
   Incident& incident = state_[accused];
   incident.accused = accused;
+  incident.defense = static_cast<obs::DefenseTag>(event.def);
 
   ++incident.timeline_total;
   if (incident.timeline.size() < Incident::kTimelineCap) {
@@ -48,6 +49,8 @@ void IncidentBuilder::on_event(const obs::Event& event) {
       if (incident.first_suspicion < 0.0) incident.first_suspicion = event.t;
       if (event.detail == obs::kSuspicionDrop) {
         ++incident.suspicions_drop;
+      } else if (event.detail == obs::kSuspicionAnomaly) {
+        ++incident.suspicions_anomaly;
       } else {
         ++incident.suspicions_fabrication;
       }

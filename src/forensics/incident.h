@@ -42,6 +42,11 @@ struct TimelinePoint {
 struct Incident {
   NodeId accused = kInvalidNode;
 
+  /// The defense backend whose evidence built this incident, taken from
+  /// the def attribution of the mon.* events (default LITEWORP when the
+  /// trace predates backend tagging).
+  obs::DefenseTag defense = obs::DefenseTag::kLiteworp;
+
   // ---- Ground-truth label (attack layer) ----
   /// True when the accused appears as the actor of any attack-layer event
   /// (atk.spawn at t=0 marks every malicious node, acting or not).
@@ -67,6 +72,7 @@ struct Incident {
   std::vector<NodeId> accusing_guards;
   std::uint64_t suspicions_fabrication = 0;
   std::uint64_t suspicions_drop = 0;
+  std::uint64_t suspicions_anomaly = 0;
   std::uint64_t detections = 0;
   std::uint64_t alerts = 0;
   std::uint64_t isolations = 0;

@@ -102,8 +102,15 @@ obs::Event TraceRecord::to_event() const {
   event.node = node;
   event.peer = peer;
   event.value = value;
-  event.detail = suspicion == "drop" ? obs::kSuspicionDrop
-                                     : obs::kSuspicionFabrication;
+  event.detail = suspicion == "drop"   ? obs::kSuspicionDrop
+                 : suspicion == "anom" ? obs::kSuspicionAnomaly
+                                       : obs::kSuspicionFabrication;
+  if (!defense.empty()) {
+    obs::DefenseTag tag = obs::DefenseTag::kLiteworp;
+    if (obs::parse_defense_tag(defense, &tag)) {
+      event.def = static_cast<std::uint8_t>(tag);
+    }
+  }
   return event;
 }
 
@@ -151,6 +158,12 @@ bool parse_trace_line(const std::string& line, std::size_t line_no,
       out->lineage = static_cast<LineageId>(scanner.number_value());
     } else if (key == "sus") {
       out->suspicion = scanner.string_value();
+    } else if (key == "def") {
+      out->defense = scanner.string_value();
+      obs::DefenseTag tag = obs::DefenseTag::kLiteworp;
+      if (!obs::parse_defense_tag(out->defense, &tag)) {
+        scanner.fail("unknown defense tag '" + out->defense + "'");
+      }
     } else if (key == "value") {
       out->value = scanner.number_value();
       out->has_value = true;
@@ -217,6 +230,9 @@ std::string describe(const TraceRecord& record) {
   }
   if (!record.suspicion.empty()) {
     out += "  sus=" + record.suspicion;
+  }
+  if (!record.defense.empty()) {
+    out += "  def=" + record.defense;
   }
   if (record.has_value) {
     n = std::snprintf(buffer, sizeof(buffer), "  value=%.9g", record.value);

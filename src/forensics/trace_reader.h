@@ -61,8 +61,14 @@ struct TraceRecord {
   SeqNo seq = 0;
   LineageId lineage = 0;
 
-  /// Suspicion kind ("fab"/"drop") on mon.suspicion lines; empty otherwise.
+  /// Suspicion kind ("fab"/"drop"/"anom") on mon.suspicion lines; empty
+  /// otherwise.
   std::string suspicion;
+
+  /// Defense backend attribution ("leash"/"zscore"/...) on mon.* lines
+  /// from non-default backends; empty means LITEWORP (the writer omits
+  /// the key for the default so legacy traces parse unchanged).
+  std::string defense;
 
   /// The event as the in-process sinks would have seen it (packet pointer
   /// is null — offline consumers use the flattened fields above).

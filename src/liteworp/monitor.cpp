@@ -243,6 +243,8 @@ void LocalMonitor::send_alert(NodeId suspect) {
     }
   }
   seen_alerts_.insert(alert.flow_key());  // do not re-process our own
+  ++alerts_transmitted_;
+  alert_bytes_ += alert.wire_size();
   if (auto* r = env_.obs(); r && r->wants(obs::Layer::kMonitor)) {
     r->emit({.t = env_.now(),
              .kind = obs::EventKind::kMonAlert,

@@ -94,7 +94,11 @@ struct LiteworpParams {
   bool strict_link_check = false;
 };
 
-enum class Suspicion : std::uint8_t { kFabrication, kDrop };
+/// Why a guard incremented its counter against a neighbor. kFabrication
+/// and kDrop are LITEWORP's two evidence kinds (Section 4.2); kAnomaly is
+/// the statistical evidence of the Z-score backend (defense/zscore.h),
+/// which shares this vocabulary so one observer serves every backend.
+enum class Suspicion : std::uint8_t { kFabrication, kDrop, kAnomaly };
 
 /// Metrics hooks. The scenario layer implements these with access to
 /// ground truth (who is actually malicious).
@@ -149,6 +153,12 @@ class LocalMonitor {
   /// entries (MalC bytes are accounted inside the neighbor list).
   std::size_t storage_bytes() const;
 
+  /// Control-plane cost: ALERT frames this monitor put on the air (every
+  /// transmission counted, repeats and re-alerts included) and their wire
+  /// bytes.
+  std::uint64_t alerts_transmitted() const { return alerts_transmitted_; }
+  std::uint64_t alert_bytes() const { return alert_bytes_; }
+
  private:
   void observe_control(const pkt::Packet& packet);
   void check_fabrication(const pkt::Packet& packet);
@@ -189,6 +199,8 @@ class LocalMonitor {
   /// Last (re)alert time per detected node (rate limiting).
   std::unordered_map<NodeId, Time> last_alert_;
   SeqNo alert_seq_ = 0;
+  std::uint64_t alerts_transmitted_ = 0;
+  std::uint64_t alert_bytes_ = 0;
   /// Bumped by reset(); disarms scheduled alert repeats from before a crash.
   int epoch_ = 0;
 };

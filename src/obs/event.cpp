@@ -50,6 +50,32 @@ std::uint32_t parse_layer_mask(const std::string& spec) {
   return mask;
 }
 
+const char* to_string(DefenseTag tag) {
+  switch (tag) {
+    case DefenseTag::kLiteworp:
+      return "liteworp";
+    case DefenseTag::kLeash:
+      return "leash";
+    case DefenseTag::kZScore:
+      return "zscore";
+    case DefenseTag::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+bool parse_defense_tag(const std::string& name, DefenseTag* out) {
+  constexpr DefenseTag kTags[] = {DefenseTag::kLiteworp, DefenseTag::kLeash,
+                                  DefenseTag::kZScore, DefenseTag::kNone};
+  for (DefenseTag tag : kTags) {
+    if (name == to_string(tag)) {
+      if (out != nullptr) *out = tag;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* to_string(EventKind kind) {
   switch (kind) {
     case EventKind::kPhyTx:

@@ -46,6 +46,24 @@ const char* to_string(Layer layer);
 /// std::invalid_argument on an unknown layer name.
 std::uint32_t parse_layer_mask(const std::string& spec);
 
+/// The defense backend an event originates from. kLiteworp is 0 so that
+/// default-constructed events (and every trace written before backends
+/// existed) read as the default LITEWORP monitor; the trace writer omits
+/// the "def" key for it, keeping clean-run traces byte-identical.
+enum class DefenseTag : std::uint8_t {
+  kLiteworp = 0,
+  kLeash = 1,
+  kZScore = 2,
+  kNone = 3,
+};
+
+/// Short stable backend name used in traces and incident reports
+/// ("liteworp", "leash", "zscore", "none").
+const char* to_string(DefenseTag tag);
+
+/// Reverse lookup for trace readers. Returns false on unknown names.
+bool parse_defense_tag(const std::string& name, DefenseTag* out);
+
 enum class EventKind : std::uint8_t {
   // ---- PHY (medium) ----
   kPhyTx = 0,        // frame put on the air        peer: -      value: airtime
@@ -127,8 +145,12 @@ struct Event {
   /// Kind-specific scalar (latency, backoff delay, MalC, hop count).
   double value = 0.0;
   /// Kind-specific discriminator. kMonSuspicion: 0 = fabrication, 1 = drop
-  /// (the two suspicion kinds of Section 4.2); 0 for every other kind.
+  /// (the two suspicion kinds of Section 4.2), 2 = statistical anomaly
+  /// (Z-score backend); 0 for every other kind.
   std::uint8_t detail = 0;
+  /// The defense backend that emitted the event (DefenseTag); meaningful
+  /// for mon.* events only. 0 (= kLiteworp) everywhere else.
+  std::uint8_t def = 0;
   /// The packet involved, when one exists. Valid only during dispatch.
   const pkt::Packet* packet = nullptr;
 };
@@ -136,5 +158,6 @@ struct Event {
 /// Event::detail values for kMonSuspicion.
 inline constexpr std::uint8_t kSuspicionFabrication = 0;
 inline constexpr std::uint8_t kSuspicionDrop = 1;
+inline constexpr std::uint8_t kSuspicionAnomaly = 2;
 
 }  // namespace lw::obs

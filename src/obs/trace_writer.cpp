@@ -34,8 +34,17 @@ void TraceWriter::on_event(const Event& event) {
     out_.write(buffer, n);
   }
   if (event.kind == EventKind::kMonSuspicion) {
-    const char* sus = event.detail == kSuspicionDrop ? "drop" : "fab";
+    const char* sus = event.detail == kSuspicionDrop      ? "drop"
+                      : event.detail == kSuspicionAnomaly ? "anom"
+                                                          : "fab";
     n = std::snprintf(buffer, sizeof(buffer), ",\"sus\":\"%s\"", sus);
+    out_.write(buffer, n);
+  }
+  if (event.def != 0) {
+    // Non-default backend attribution; omitted for the default LITEWORP
+    // monitor so pre-existing golden traces stay byte-identical.
+    n = std::snprintf(buffer, sizeof(buffer), ",\"def\":\"%s\"",
+                      to_string(static_cast<DefenseTag>(event.def)));
     out_.write(buffer, n);
   }
   if (event.value != 0.0) {

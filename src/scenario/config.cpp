@@ -34,9 +34,10 @@ void ExperimentConfig::finalize() {
   // cleanly within T_ND of deployment.
   const Duration t_nd = nbr::discovery_complete_time(discovery);
   phy.collision_free_until = oracle_discovery ? 0.0 : t_nd;
-  leash.range = radio_range;
-  leash.bandwidth_bps = phy.bandwidth_bps;
-  leash.propagation_speed = phy.propagation_speed;
+  defense.leash.range = radio_range;
+  defense.leash.bandwidth_bps = phy.bandwidth_bps;
+  defense.leash.propagation_speed = phy.propagation_speed;
+  defense.finalize();
   if (traffic.start_time < t_nd) traffic.start_time = t_nd + 1.0;
   if (attack.start_time < traffic.start_time) {
     attack.start_time = traffic.start_time;
@@ -71,10 +72,10 @@ void ExperimentConfig::validate() const {
   if (positions && positions->size() != node_count + late_joiners) {
     reject("explicit positions must cover node_count + late_joiners nodes");
   }
-  if (liteworp.enabled && liteworp.detection_confidence < 1) {
-    reject("detection_confidence (gamma) must be at least 1");
-  }
   if (traffic.data_rate < 0.0) reject("data_rate must be non-negative");
+  // DefenseConfig throws its own "DefenseConfig: ..." invalid_argument
+  // naming the offending backend parameter.
+  defense.validate();
   // FaultPlan throws its own "FaultPlan: ..." invalid_argument with the
   // offending entry spelled out.
   fault.validate(node_count + late_joiners);
@@ -94,15 +95,18 @@ std::string ExperimentConfig::summary() const {
       << "dest change rate    : " << traffic.destination_change_rate
       << " /s per node\n"
       << "TOut_Route          : " << routing.route_timeout << " s\n"
-      << "watch timeout delta : " << liteworp.watch_timeout << " s\n"
-      << "V_f / V_d / C_t     : " << liteworp.malc_fabrication << " / "
-      << liteworp.malc_drop << " / " << liteworp.malc_threshold << '\n'
-      << "gamma               : " << liteworp.detection_confidence << '\n'
-      << "MalC window kappa   : " << liteworp.window_packets << " packets\n"
+      << "watch timeout delta : " << defense.liteworp.watch_timeout << " s\n"
+      << "V_f / V_d / C_t     : " << defense.liteworp.malc_fabrication
+      << " / " << defense.liteworp.malc_drop << " / "
+      << defense.liteworp.malc_threshold << '\n'
+      << "gamma               : " << defense.liteworp.detection_confidence
+      << '\n'
+      << "MalC window kappa   : " << defense.liteworp.window_packets
+      << " packets\n"
       << "malicious M         : " << malicious_count << " ("
       << attack::to_string(attack.mode) << ", start "
       << attack.start_time << " s)\n"
-      << "LITEWORP            : " << (liteworp.enabled ? "on" : "off") << '\n'
+      << "defense             : " << defense.name << '\n'
       << "duration            : " << duration << " s\n"
       << "seed                : " << seed << '\n';
   return out.str();

@@ -11,9 +11,8 @@
 #include <string>
 
 #include "attack/coordinator.h"
+#include "defense/defense.h"
 #include "fault/plan.h"
-#include "leash/leash.h"
-#include "liteworp/monitor.h"
 #include "mac/csma_mac.h"
 #include "neighbor/discovery.h"
 #include "obs/options.h"
@@ -53,10 +52,11 @@ struct ExperimentConfig {
   nbr::JoinParams join;
   routing::RoutingParams routing;
   routing::TrafficParams traffic;
-  lite::LiteworpParams liteworp;
-  /// Comparator defense (temporal packet leashes); off by default.
-  /// finalize() aligns its range/bandwidth with the PHY.
-  leash::LeashParams leash;
+  /// Defense backend selection plus every backend's parameter block
+  /// (defense.name picks one of defense::registry()). finalize() aligns
+  /// the leash block's range/bandwidth with the PHY and syncs the
+  /// per-backend master switches with the selection.
+  defense::DefenseConfig defense;
 
   // ---- Incremental deployment (Sections 4.1 / 7) ----
   /// Nodes beyond node_count that join the live network later via the
@@ -94,8 +94,8 @@ struct ExperimentConfig {
   /// default; the stack then skips every emit site on a null check.
   obs::Options obs;
 
-  /// The paper's Table 2 setup. liteworp.enabled selects protected vs
-  /// baseline runs.
+  /// The paper's Table 2 setup. defense.name selects protected
+  /// ("liteworp", the default) vs baseline ("none") runs.
   static ExperimentConfig table2_defaults();
 
   /// Recomputes derived values (field side, collision-free discovery

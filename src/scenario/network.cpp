@@ -85,7 +85,7 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
         recorder_.get()));
     // Geographical leashes need each node's own (GPS-style) location.
     const topo::Position& at = graph_->position(id);
-    nodes_.back()->leash().set_own_position(at.x, at.y);
+    nodes_.back()->set_own_position(at.x, at.y);
   }
   configure_attack();
   for (NodeId id = 0; id < config_.node_count; ++id) {
@@ -344,8 +344,16 @@ std::vector<NodeId> Network::framing_guards(NodeId victim,
 
 void Network::emit_false_alert(NodeId guard, NodeId victim) {
   Node& framer = *nodes_.at(guard);
-  if (!framer.alive() || framer.monitor() == nullptr) return;
-  framer.monitor()->emit_false_alert(victim);
+  if (!framer.alive() || framer.defense() == nullptr) return;
+  framer.defense()->emit_false_alert(victim);
+}
+
+defense::CostSnapshot Network::defense_cost() const {
+  defense::CostSnapshot total;
+  for (const auto& node : nodes_) {
+    if (node->defense()) total.accumulate(node->defense()->cost());
+  }
+  return total;
 }
 
 void Network::run() { run_until(config_.duration); }

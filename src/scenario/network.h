@@ -97,6 +97,10 @@ class Network : public fault::FaultHost {
                              : forensics::ForensicsSummary{};
   }
 
+  /// Network-wide defense overhead: per-node CostSnapshots summed in
+  /// node-id order (deterministic).
+  defense::CostSnapshot defense_cost() const;
+
   // ---- Robustness outputs (all zero/empty on fault-free runs) ----
 
   /// Number of crash / recovery faults actually executed.

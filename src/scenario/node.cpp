@@ -23,14 +23,22 @@ Node::Node(NodeId id, const ExperimentConfig& config,
       discovery_(*this, table_, config.discovery),
       join_(*this, table_, config.join),
       routing_(*this, table_, config.routing, metrics),
-      traffic_(*this, routing_, config.node_count, config.traffic),
-      leash_(config.leash) {
+      traffic_(*this, routing_, config.node_count, config.traffic) {
   if (malicious) {
     malicious_agent_ = std::make_unique<attack::MaliciousAgent>(
         *this, table_, *coordinator, metrics);
+    // The leash is a receive-side filter every node applies (a malicious
+    // node still checks stamps on frames it processes); detection backends
+    // never run on the nodes they would be detecting.
+    if (config.defense.name == "leash") {
+      defense_ = defense::make(
+          config.defense, {.env = *this, .table = table_, .routing = routing_,
+                           .observer = metrics});
+    }
   } else {
-    monitor_ = std::make_unique<lite::LocalMonitor>(
-        *this, table_, routing_, config.liteworp, metrics);
+    defense_ = defense::make(
+        config.defense, {.env = *this, .table = table_, .routing = routing_,
+                         .observer = metrics});
   }
   medium.attach(&radio_);
   mac_.set_upcall([this](const pkt::Packet& p) { handle_frame(p); });
@@ -45,13 +53,13 @@ void Node::start(const topo::DiscGraph& graph) {
   } else {
     discovery_.start();
   }
-  if (monitor_) monitor_->start();
+  if (defense_) defense_->start();
   traffic_.start();
 }
 
 void Node::start_late() {
   deployed_ = true;
-  if (monitor_) monitor_->start();
+  if (defense_) defense_->start();
   join_.start_join();
   traffic_.start_at(simulator_.now() + config_.join.settle_time + 4.0);
 }
@@ -85,7 +93,7 @@ void Node::crash() {
   routing_.reset();
   traffic_.stop();
   join_.reset();
-  if (monitor_) monitor_->reset();
+  if (defense_) defense_->reset();
   table_.clear();
   last_heard_.assign(last_heard_.size(), -1.0);
 }
@@ -98,7 +106,7 @@ void Node::recover() {
   // Identical to a late deployment: the challenge-response join is how a
   // rebooted node proves itself back into its old neighborhood (peers hold
   // it as known-but-not-admitted, so their hellos get re-challenged).
-  if (monitor_) monitor_->start();
+  if (defense_) defense_->start();
   join_.start_join();
   traffic_.start_at(simulator_.now() + config_.join.settle_time + 4.0);
 }
@@ -137,11 +145,11 @@ void Node::schedule_age_sweep() {
 void Node::send(pkt::Packet packet, mac::SendOptions options) {
   if (!alive_) return;  // a crashed node's stale timers fire into the void
   if (packet.claimed_tx == kInvalidNode) packet.claimed_tx = id_;
-  // A node is a guard of its own outgoing links: feed the monitor with the
+  // A node is a guard of its own outgoing links: feed the defense with the
   // control traffic we transmit so the fabrication/drop checks have our
   // transmit records.
-  if (monitor_ && pkt::is_watched_control(packet.type)) {
-    monitor_->on_overhear(packet);
+  if (defense_ && pkt::is_watched_control(packet.type)) {
+    defense_->observe(packet);
   }
   mac_.send(std::move(packet), options);
 }
@@ -171,9 +179,9 @@ void Node::handle_frame(const pkt::Packet& packet) {
   }
 
   // Honest promiscuous tap: guards watch everything they can decode.
-  if (monitor_) {
+  if (defense_) {
     obs::ScopedTimer timer(profiler, obs::Layer::kMonitor);
-    monitor_->on_overhear(packet);
+    defense_->observe(packet);
   }
 
   switch (packet.type) {
@@ -186,9 +194,9 @@ void Node::handle_frame(const pkt::Packet& packet) {
     }
 
     case pkt::PacketType::kAlert:
-      if (monitor_) {
+      if (defense_) {
         obs::ScopedTimer timer(profiler, obs::Layer::kMonitor);
-        monitor_->handle_alert(packet);
+        defense_->handle_alert(packet);
       }
       return;
 
@@ -198,28 +206,9 @@ void Node::handle_frame(const pkt::Packet& packet) {
     case pkt::PacketType::kRouteError: {
       // Only frames addressed to us (or broadcast) are processed further.
       if (packet.link_dst != kInvalidNode && packet.link_dst != id_) return;
-      // Comparator defense: temporal leash (no-op unless enabled).
-      if (!leash_.check(packet, simulator_.now())) return;
-      if (config_.liteworp.enabled && !malicious_agent_) {
-        obs::ScopedTimer timer(profiler, obs::Layer::kNeighbor);
-        const nbr::Admission verdict = nbr::check_frame(table_, packet);
-        admission_stats_.record(verdict);
-        const bool accepted = verdict == nbr::Admission::kAccept;
-        if (recorder_ && recorder_->wants(obs::Layer::kNeighbor)) {
-          recorder_->emit({.t = simulator_.now(),
-                           .kind = accepted ? obs::EventKind::kNbrAdmit
-                                            : obs::EventKind::kNbrReject,
-                           .node = id_,
-                           .peer = packet.claimed_tx,
-                           .value = static_cast<double>(verdict),
-                           .packet = &packet});
-        }
-        if (!accepted) {
-          LW_DEBUG << "node " << id_ << ": rejected ("
-                   << nbr::to_string(verdict) << ") " << packet.describe();
-          return;
-        }
-      }
+      // Receiver-side defense verdict (admission checks, leash bounds, or
+      // revocation enforcement, depending on the backend).
+      if (defense_ && !defense_->admit(packet)) return;
       obs::ScopedTimer timer(profiler, obs::Layer::kRouting);
       routing_.handle(packet);
       return;

@@ -1,18 +1,18 @@
 // Concrete node: the full protocol stack wired together.
 //
-// Owns the radio, MAC, neighbor state, routing, and optionally either a
-// LITEWORP monitor (honest nodes) or a malicious agent (attackers), and
-// implements the frame dispatch:
+// Owns the radio, MAC, neighbor state, routing, and either a defense
+// backend (honest nodes; selected by config.defense.name through
+// defense::make) or a malicious agent (attackers), and implements the
+// frame dispatch:
 //
-//   radio decode -> [malicious intercept] -> [monitor tap] ->
-//   [admission checks] -> protocol handler (discovery / alert / routing)
+//   radio decode -> [malicious intercept] -> [defense observe tap] ->
+//   [defense admit verdict] -> protocol handler (discovery/alert/routing)
 #pragma once
 
 #include <memory>
 
 #include "attack/malicious_agent.h"
-#include "leash/leash.h"
-#include "liteworp/monitor.h"
+#include "defense/defense.h"
 #include "neighbor/admission.h"
 #include "neighbor/discovery.h"
 #include "neighbor/dynamic_join.h"
@@ -95,15 +95,28 @@ class Node final : public node::NodeEnv {
   nbr::DynamicJoinAgent& join_agent() { return join_; }
   routing::OnDemandRouting& routing() { return routing_; }
   routing::TrafficGenerator& traffic() { return traffic_; }
-  lite::LocalMonitor* monitor() { return monitor_.get(); }
-  const lite::LocalMonitor* monitor() const { return monitor_.get(); }
+  /// The active defense backend; null on malicious nodes (except the
+  /// leash, which is a receive-side filter every node applies).
+  defense::Defense* defense() { return defense_.get(); }
+  const defense::Defense* defense() const { return defense_.get(); }
+  /// The wrapped LITEWORP monitor when the active backend has one.
+  lite::LocalMonitor* monitor() {
+    return defense_ ? defense_->local_monitor() : nullptr;
+  }
+  const lite::LocalMonitor* monitor() const {
+    return defense_ ? defense_->local_monitor() : nullptr;
+  }
   attack::MaliciousAgent* malicious_agent() { return malicious_agent_.get(); }
   const nbr::AdmissionStats& admission_stats() const {
-    return admission_stats_;
+    static const nbr::AdmissionStats kNoChecks;
+    return defense_ ? defense_->admission_stats() : kNoChecks;
   }
   const mac::MacStats& mac_stats() const { return mac_.stats(); }
-  const leash::LeashStats& leash_stats() const { return leash_.stats(); }
-  leash::LeashChecker& leash() { return leash_; }
+  /// Own (GPS-style) location, forwarded to the defense backend (the
+  /// geographical leash needs it; everyone else ignores it).
+  void set_own_position(double x, double y) {
+    if (defense_) defense_->set_own_position(x, y);
+  }
 
  private:
   void handle_frame(const pkt::Packet& packet);
@@ -139,10 +152,8 @@ class Node final : public node::NodeEnv {
   /// first re-authenticated neighbor closes the sample.
   Time recover_started_ = -1.0;
   std::vector<Duration> recovery_latencies_;
-  leash::LeashChecker leash_;
-  std::unique_ptr<lite::LocalMonitor> monitor_;
+  std::unique_ptr<defense::Defense> defense_;
   std::unique_ptr<attack::MaliciousAgent> malicious_agent_;
-  nbr::AdmissionStats admission_stats_;
 };
 
 }  // namespace lw::scenario

@@ -22,6 +22,7 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.wormhole_replays = m.wormhole_replays;
   r.suspicions_fabrication = m.suspicions_fabrication;
   r.suspicions_drop = m.suspicions_drop;
+  r.suspicions_anomaly = m.suspicions_anomaly;
   r.false_suspicions = m.false_suspicions;
   r.local_detections = m.local_detections;
   r.alerts_sent = m.alerts_sent;
@@ -39,6 +40,8 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.p95_delivery_latency = m.latency_percentile(95.0);
   r.duration = network.config().duration;
   r.attack_start = network.config().attack.start_time;
+  r.defense_name = network.config().defense.name;
+  r.defense_cost = network.defense_cost();
   r.fault_active = !network.config().fault.empty();
   r.nodes_crashed = network.fault_crashes();
   r.nodes_recovered = network.fault_recoveries();

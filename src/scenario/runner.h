@@ -35,6 +35,7 @@ struct RunResult {
 
   std::uint64_t suspicions_fabrication = 0;
   std::uint64_t suspicions_drop = 0;
+  std::uint64_t suspicions_anomaly = 0;
   std::uint64_t false_suspicions = 0;
   std::uint64_t local_detections = 0;
   std::uint64_t alerts_sent = 0;
@@ -55,6 +56,12 @@ struct RunResult {
 
   Time duration = 0.0;
   Time attack_start = 0.0;
+
+  // ---- Defense identity + overhead (uniform across backends) ----
+  /// The active backend's registered name ("liteworp", "leash", ...).
+  std::string defense_name;
+  /// Network-wide overhead counters summed over all nodes in id order.
+  defense::CostSnapshot defense_cost;
 
   // ---- Robustness outputs (a FaultPlan ran; all zero/empty otherwise) ----
   /// True when the run executed a non-empty FaultPlan; gates the fault

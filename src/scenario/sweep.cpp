@@ -340,6 +340,15 @@ void emit_replica(JsonOut& json, const RunResult& r) {
   json.key("frames_delivered").value(r.frames_delivered);
   json.key("frames_collided").value(r.frames_collided);
   json.key("mean_delivery_latency").value(r.mean_delivery_latency);
+  json.key("defense").open('{');
+  json.key("name").value(r.defense_name);
+  json.key("frames_observed").value(r.defense_cost.frames_observed);
+  json.key("admission_checks").value(r.defense_cost.admission_checks);
+  json.key("admission_rejects").value(r.defense_cost.admission_rejects);
+  json.key("control_messages").value(r.defense_cost.control_messages);
+  json.key("control_bytes").value(r.defense_cost.control_bytes);
+  json.key("storage_bytes").value(r.defense_cost.storage_bytes);
+  json.close('}');
   if (r.fault_active) {
     json.key("fault").open('{');
     json.key("nodes_crashed").value(r.nodes_crashed);
@@ -367,6 +376,7 @@ void emit_replica(JsonOut& json, const RunResult& r) {
     for (const forensics::Incident& inc : r.incidents) {
       json.open('{');
       json.key("accused").value(static_cast<std::uint64_t>(inc.accused));
+      json.key("def").value(std::string(obs::to_string(inc.defense)));
       json.key("malicious").value(inc.ground_truth_malicious);
       json.key("isolated").value(inc.isolated());
       json.key("label").value(std::string(inc.label()));

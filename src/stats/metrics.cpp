@@ -84,8 +84,10 @@ void MetricsCollector::on_suspicion(NodeId, NodeId suspect,
                                     lite::Suspicion kind) {
   if (kind == lite::Suspicion::kFabrication) {
     ++suspicions_fabrication;
-  } else {
+  } else if (kind == lite::Suspicion::kDrop) {
     ++suspicions_drop;
+  } else {
+    ++suspicions_anomaly;
   }
   if (!is_malicious(suspect)) ++false_suspicions;
 }

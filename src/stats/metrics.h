@@ -83,6 +83,9 @@ class MetricsCollector : public routing::RoutingObserver,
 
   std::uint64_t suspicions_fabrication = 0;
   std::uint64_t suspicions_drop = 0;
+  /// Statistical suspicions raised by the Z-score backend (0 under the
+  /// evidence-based LITEWORP monitor).
+  std::uint64_t suspicions_anomaly = 0;
   /// Suspicions whose suspect is actually honest (channel-noise artifacts).
   std::uint64_t false_suspicions = 0;
   std::uint64_t local_detections = 0;

@@ -43,7 +43,7 @@ scenario::ExperimentConfig attack_config(WormholeMode mode,
   config.malicious_count = malicious;
   config.attack.mode = mode;
   config.attack.start_time = 50.0;
-  config.liteworp.enabled = liteworp;
+  config.defense.name = liteworp ? "liteworp" : "none";
   config.finalize();
   return config;
 }

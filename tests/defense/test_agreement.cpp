@@ -1,0 +1,73 @@
+// Cross-backend agreement: on the same field, seed, and attack, the two
+// identifying detectors (LITEWORP's per-packet counter and the Z-score
+// statistical detector) must agree on the verdict — every colluder
+// completely isolated, no honest node ever accused. They reach it by very
+// different evidence, so agreement is a strong end-to-end check on both.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace lw {
+namespace {
+
+/// The two backends that identify and isolate attackers (leashes only
+/// filter packets; the baseline does nothing).
+const char* const kIdentifyingBackends[] = {"liteworp", "zscore"};
+
+scenario::ExperimentConfig agree_config(const std::string& backend,
+                                        attack::WormholeMode mode,
+                                        std::uint64_t seed,
+                                        std::size_t malicious = 2) {
+  auto config = scenario::ExperimentConfig::table2_defaults();
+  config.node_count = 50;
+  config.seed = seed;
+  config.duration = 600.0;
+  config.malicious_count = malicious;
+  config.attack.mode = mode;
+  config.defense.name = backend;
+  config.finalize();
+  return config;
+}
+
+class BackendAgreement
+    : public ::testing::TestWithParam<attack::WormholeMode> {};
+
+TEST_P(BackendAgreement, BothDetectorsIsolateEveryColluder) {
+  for (const char* backend : kIdentifyingBackends) {
+    auto result =
+        scenario::run_experiment(agree_config(backend, GetParam(), 3));
+    EXPECT_EQ(result.malicious_isolated, result.malicious_count)
+        << backend << " missed a colluder";
+    EXPECT_EQ(result.false_isolations, 0u)
+        << backend << " accused an honest node";
+    EXPECT_GT(result.local_detections, 0u) << backend;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TunnelModes, BackendAgreement,
+                         ::testing::Values(attack::WormholeMode::kEncapsulation,
+                                           attack::WormholeMode::kOutOfBand));
+
+TEST(BackendAgreementClean, NeitherDetectorIsolatesOnACleanField) {
+  // Zero attackers: any isolation is a false positive by construction, for
+  // either evidence model. The per-packet backend must not even suspect
+  // locally (the flow-heard alibi absorbs collision losses); the
+  // statistical backend MAY convict locally when collisions make one guard
+  // deaf enough to see an outlier — the paper's gamma threshold is what
+  // must keep that local noise from ever isolating anyone network-wide.
+  for (const char* backend : kIdentifyingBackends) {
+    auto config = agree_config(backend, attack::WormholeMode::kOutOfBand, 3,
+                               /*malicious=*/0);
+    auto result = scenario::run_experiment(config);
+    EXPECT_EQ(result.false_isolations, 0u) << backend;
+    EXPECT_EQ(result.malicious_count, 0u);
+    if (std::string(backend) == "liteworp") {
+      EXPECT_EQ(result.local_detections, 0u) << backend;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lw

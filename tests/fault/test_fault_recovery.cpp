@@ -85,7 +85,7 @@ TEST(FaultRecovery, CrashedRadioIsSilentAndTracePassesLint) {
   auto config = base_config(203);
   add_crash(config);
   config.obs.trace = true;
-  const int gamma = config.liteworp.detection_confidence;
+  const int gamma = config.defense.liteworp.detection_confidence;
   config.finalize();
   config.validate();
   scenario::Network network(std::move(config));
@@ -170,7 +170,7 @@ NodeId pick_victim(scenario::ExperimentConfig config, std::size_t wanted) {
 TEST(FaultFraming, BelowGammaNeverIsolates) {
   auto config = base_config(205);
   const auto gamma =
-      static_cast<std::size_t>(config.liteworp.detection_confidence);
+      static_cast<std::size_t>(config.defense.liteworp.detection_confidence);
   ASSERT_GE(gamma, 2u);
   const NodeId victim = pick_victim(config, gamma + 2);
   ASSERT_NE(victim, kInvalidNode);
@@ -191,7 +191,7 @@ TEST(FaultFraming, BelowGammaNeverIsolates) {
 TEST(FaultFraming, AtOrAboveGammaCanIsolateTheVictim) {
   auto config = base_config(206);
   const auto gamma =
-      static_cast<std::size_t>(config.liteworp.detection_confidence);
+      static_cast<std::size_t>(config.defense.liteworp.detection_confidence);
   // gamma+1 framers: even a compromised guard hears gamma *other* guards,
   // so somebody in the neighborhood must cross the bar.
   const NodeId victim = pick_victim(config, gamma + 2);

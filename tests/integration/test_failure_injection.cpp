@@ -52,7 +52,7 @@ TEST(FailureInjection, SuspicionsScaleWithLoss) {
 TEST(FailureInjection, StrictCheckIsTheNoisyOne) {
   auto relaxed_cfg = lossy_config(0.10, 91);
   auto strict_cfg = lossy_config(0.10, 91);
-  strict_cfg.liteworp.strict_link_check = true;
+  strict_cfg.defense.liteworp.strict_link_check = true;
   auto relaxed = scenario::run_experiment(relaxed_cfg);
   auto strict = scenario::run_experiment(strict_cfg);
   EXPECT_GE(strict.false_suspicions, relaxed.false_suspicions)

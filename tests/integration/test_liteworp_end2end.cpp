@@ -19,7 +19,7 @@ scenario::ExperimentConfig e2e_config(std::size_t nodes, std::uint64_t seed,
   config.seed = seed;
   config.duration = 600.0;
   config.malicious_count = malicious;
-  config.liteworp.enabled = liteworp;
+  config.defense.name = liteworp ? "liteworp" : "none";
   config.finalize();
   return config;
 }
@@ -37,7 +37,7 @@ TEST_P(DetectionSweep, EveryWormholeIsolatedNoFalsePositives) {
   auto [nodes, seed, gamma] = GetParam();
   auto config = e2e_config(static_cast<std::size_t>(nodes),
                            static_cast<std::uint64_t>(seed), true);
-  config.liteworp.detection_confidence = gamma;
+  config.defense.liteworp.detection_confidence = gamma;
   config.finalize();
   auto result = scenario::run_experiment(config);
   EXPECT_EQ(result.malicious_isolated, result.malicious_count)
@@ -120,10 +120,10 @@ TEST(EndToEnd, MoreColludersMoreBaselineDamage) {
 
 TEST(EndToEnd, HigherGammaSlowerIsolation) {
   auto fast = e2e_config(60, 46, true);
-  fast.liteworp.detection_confidence = 2;
+  fast.defense.liteworp.detection_confidence = 2;
   fast.finalize();
   auto slow = e2e_config(60, 46, true);
-  slow.liteworp.detection_confidence = 6;
+  slow.defense.liteworp.detection_confidence = 6;
   slow.finalize();
   auto fast_result = scenario::run_experiment(fast);
   auto slow_result = scenario::run_experiment(slow);
@@ -141,7 +141,7 @@ TEST(EndToEnd, AlertsComeFromMultipleGuards) {
   auto result = scenario::run_experiment(e2e_config(60, 47, true));
   EXPECT_GE(result.local_detections,
             static_cast<std::uint64_t>(
-                e2e_config(60, 47, true).liteworp.detection_confidence))
+                e2e_config(60, 47, true).defense.liteworp.detection_confidence))
       << "complete isolation needs at least gamma alerting guards";
 }
 

@@ -109,14 +109,13 @@ TEST(GeographicalLeash, StopsHighPowerWithoutTightClocks) {
   config.duration = 400.0;
   config.malicious_count = 1;
   config.attack.mode = attack::WormholeMode::kHighPower;
-  config.liteworp.enabled = false;
-  config.leash.enabled = true;
-  config.leash.mode = LeashMode::kGeographical;
+  config.defense.name = "leash";
+  config.defense.leash.mode = LeashMode::kGeographical;
   config.finalize();
   auto result = scenario::run_experiment(config);
 
   auto undefended = config;
-  undefended.leash.enabled = false;
+  undefended.defense.name = "none";
   undefended.finalize();
   auto baseline = scenario::run_experiment(undefended);
 
@@ -134,9 +133,8 @@ TEST(GeographicalLeash, StillBlindToInsiderTunnel) {
   config.duration = 400.0;
   config.malicious_count = 2;
   config.attack.mode = attack::WormholeMode::kOutOfBand;
-  config.liteworp.enabled = false;
-  config.leash.enabled = true;
-  config.leash.mode = LeashMode::kGeographical;
+  config.defense.name = "leash";
+  config.defense.leash.mode = LeashMode::kGeographical;
   config.finalize();
   auto result = scenario::run_experiment(config);
   EXPECT_GT(result.wormhole_routes, 0u)
@@ -154,14 +152,14 @@ scenario::ExperimentConfig comparison_config(attack::WormholeMode mode,
   config.duration = 400.0;
   config.malicious_count = malicious;
   config.attack.mode = mode;
-  config.liteworp.enabled = false;  // leash-only unless stated
+  config.defense.name = "none";  // backends enabled per test
   config.finalize();
   return config;
 }
 
 TEST(LeashEndToEnd, StopsReplayWormhole) {
   auto config = comparison_config(attack::WormholeMode::kRelay, 1, 25);
-  config.leash.enabled = true;
+  config.defense.name = "leash";
   config.finalize();
   auto result = scenario::run_experiment(config);
   EXPECT_EQ(result.wormhole_routes, 0u)
@@ -172,7 +170,7 @@ TEST(LeashEndToEnd, BlindToInsiderTunnel) {
   // The paper's core argument: colluding insiders re-stamp at each end,
   // so the leash sees nothing — while LITEWORP isolates them.
   auto leash_only = comparison_config(attack::WormholeMode::kOutOfBand, 2, 21);
-  leash_only.leash.enabled = true;
+  leash_only.defense.name = "leash";
   leash_only.finalize();
   auto leash_result = scenario::run_experiment(leash_only);
   EXPECT_GT(leash_result.wormhole_routes, 0u)
@@ -180,7 +178,7 @@ TEST(LeashEndToEnd, BlindToInsiderTunnel) {
   EXPECT_GT(leash_result.data_dropped_malicious, 0u);
 
   auto liteworp = comparison_config(attack::WormholeMode::kOutOfBand, 2, 21);
-  liteworp.liteworp.enabled = true;
+  liteworp.defense.name = "liteworp";
   liteworp.finalize();
   auto liteworp_result = scenario::run_experiment(liteworp);
   EXPECT_EQ(liteworp_result.malicious_isolated, 2u);
@@ -190,7 +188,7 @@ TEST(LeashEndToEnd, BlindToInsiderTunnel) {
 
 TEST(LeashEndToEnd, HarmlessForHonestTraffic) {
   auto config = comparison_config(attack::WormholeMode::kOutOfBand, 0, 33);
-  config.leash.enabled = true;
+  config.defense.name = "leash";
   config.finalize();
   auto result = scenario::run_experiment(config);
   const double delivery = static_cast<double>(result.data_delivered) /

@@ -20,7 +20,7 @@ scenario::ExperimentConfig aran_config(attack::WormholeMode mode,
   // a multihop unicast path between the colluders. Comparable to a flood
   // hop so the Figure-1 race is meaningful.
   config.attack.encapsulation_per_hop_delay = 1.5;
-  config.liteworp.enabled = false;  // this is a routing-policy experiment
+  config.defense.name = "none";  // this is a routing-policy experiment
   config.routing.prefer_fastest_reply = fastest;
   config.finalize();
   return config;

@@ -220,7 +220,7 @@ TEST(Config, ValidateRejectsContradictions) {
   EXPECT_THROW(too_many_attackers.validate(), std::invalid_argument);
 
   auto bad_gamma = config;
-  bad_gamma.liteworp.detection_confidence = 0;
+  bad_gamma.defense.liteworp.detection_confidence = 0;
   EXPECT_THROW(bad_gamma.validate(), std::invalid_argument);
 }
 

@@ -16,7 +16,7 @@ TEST(Config, TableTwoDefaults) {
   EXPECT_DOUBLE_EQ(config.traffic.destination_change_rate, 1.0 / 200.0);
   EXPECT_DOUBLE_EQ(config.attack.start_time, 50.0);
   EXPECT_DOUBLE_EQ(config.duration, 2000.0);
-  EXPECT_TRUE(config.liteworp.enabled);
+  EXPECT_EQ(config.defense.name, "liteworp");
 }
 
 TEST(Config, FinalizeOrdersPhases) {

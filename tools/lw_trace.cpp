@@ -172,18 +172,20 @@ std::vector<Segment> fold_incidents(const std::vector<TraceRecord>& records) {
 }
 
 void print_incident_text(const Incident& inc) {
-  std::printf("  accused %-4u %-9s %s  guards=%zu [", inc.accused,
+  std::printf("  accused %-4u %-9s %s  def=%s  guards=%zu [", inc.accused,
               inc.ground_truth_malicious ? "MALICIOUS"
               : inc.framed              ? "FRAMED"
                                         : "honest",
               inc.isolated() ? "ISOLATED" : "detected",
-              inc.accusing_guards.size());
+              lw::obs::to_string(inc.defense), inc.accusing_guards.size());
   for (std::size_t i = 0; i < inc.accusing_guards.size(); ++i) {
     std::printf("%s%u", i == 0 ? "" : ",", inc.accusing_guards[i]);
   }
-  std::printf("]  sus(fab/drop)=%llu/%llu det=%llu alerts=%llu iso=%llu",
+  std::printf("]  sus(fab/drop/anom)=%llu/%llu/%llu det=%llu alerts=%llu "
+              "iso=%llu",
               static_cast<unsigned long long>(inc.suspicions_fabrication),
               static_cast<unsigned long long>(inc.suspicions_drop),
+              static_cast<unsigned long long>(inc.suspicions_anomaly),
               static_cast<unsigned long long>(inc.detections),
               static_cast<unsigned long long>(inc.alerts),
               static_cast<unsigned long long>(inc.isolations));
@@ -213,10 +215,12 @@ void print_incident_text(const Incident& inc) {
 }
 
 void print_incident_json(const Incident& inc, bool last) {
-  std::printf("    {\"accused\":%u,\"label\":\"%s\",\"malicious\":%s,\"isolated\":%s",
-              inc.accused, inc.label(),
-              inc.ground_truth_malicious ? "true" : "false",
-              inc.isolated() ? "true" : "false");
+  std::printf(
+      "    {\"accused\":%u,\"label\":\"%s\",\"def\":\"%s\","
+      "\"malicious\":%s,\"isolated\":%s",
+      inc.accused, inc.label(), lw::obs::to_string(inc.defense),
+      inc.ground_truth_malicious ? "true" : "false",
+      inc.isolated() ? "true" : "false");
   std::printf(",\"framers\":[");
   for (std::size_t i = 0; i < inc.framers.size(); ++i) {
     std::printf("%s%u", i == 0 ? "" : ",", inc.framers[i]);
@@ -226,9 +230,11 @@ void print_incident_json(const Incident& inc, bool last) {
   for (std::size_t i = 0; i < inc.accusing_guards.size(); ++i) {
     std::printf("%s%u", i == 0 ? "" : ",", inc.accusing_guards[i]);
   }
-  std::printf("],\"suspicions_fabrication\":%llu,\"suspicions_drop\":%llu",
+  std::printf("],\"suspicions_fabrication\":%llu,\"suspicions_drop\":%llu"
+              ",\"suspicions_anomaly\":%llu",
               static_cast<unsigned long long>(inc.suspicions_fabrication),
-              static_cast<unsigned long long>(inc.suspicions_drop));
+              static_cast<unsigned long long>(inc.suspicions_drop),
+              static_cast<unsigned long long>(inc.suspicions_anomaly));
   std::printf(",\"detections\":%llu,\"alerts\":%llu,\"isolations\":%llu",
               static_cast<unsigned long long>(inc.detections),
               static_cast<unsigned long long>(inc.alerts),
