@@ -18,6 +18,16 @@
 //   --profile    collect run profiles; adds per-point profiler totals and
 //                a "timing" section to the sweep JSON, and a summary on
 //                stderr
+//   --series[=B] sample a deterministic sim-time telemetry series (bucket
+//                width B simulated seconds, default 1.0): per-bucket layer
+//                event rates, queue depth/high-water, memory gauges. Adds
+//                a "series" object to every replica in the sweep JSON;
+//                byte-identical per seed at any --threads value. Wall-clock
+//                self-time per bucket appears only with --profile.
+//   --watch      live progress view on stderr while each run executes
+//                (sim-time, event rate, queue depth, ETA). Display only —
+//                never changes results. Most useful with --threads=1;
+//                concurrent runs interleave their lines.
 //   --run-timeout=S  per-replica wall-clock watchdog: a run still executing
 //                after S real seconds is aborted and reported as a failed
 //                replica instead of hanging the worker pool (0 = off)
@@ -74,6 +84,11 @@ struct Common {
   std::string trace_out_file;
   std::uint32_t trace_layers = lw::obs::kAllLayers;
   bool profile = false;
+  /// Telemetry series sampling (--series[=bucket_seconds]).
+  bool series = false;
+  double series_bucket = 1.0;
+  /// Live stderr progress view per run (--watch).
+  bool watch = false;
   bool quiet = false;
   /// Per-replica wall-clock watchdog in seconds; 0 disables.
   double run_timeout = 0.0;
@@ -98,6 +113,24 @@ inline Common parse_common(const lw::Config& args, int default_runs,
     std::exit(1);
   }
   common.profile = args.get_bool("profile", false);
+  // --series is a flag ("true") or carries the bucket width (--series=2.5).
+  const std::string series = args.get_string("series", "");
+  if (!series.empty()) {
+    common.series = true;
+    if (series != "true") {
+      char* end = nullptr;
+      common.series_bucket = std::strtod(series.c_str(), &end);
+      if (end == series.c_str() || *end != '\0' ||
+          common.series_bucket <= 0.0) {
+        std::fprintf(stderr,
+                     "--series: bucket width must be a positive number of "
+                     "simulated seconds, got \"%s\"\n",
+                     series.c_str());
+        std::exit(1);
+      }
+    }
+  }
+  common.watch = args.get_bool("watch", false);
   common.quiet = args.get_bool("quiet", false);
   common.run_timeout = args.get_double("run-timeout", 0.0);
   common.defense = args.get_string("defense", "");
@@ -162,6 +195,9 @@ inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
   spec.base.obs.trace_layers = common.trace_layers;
   spec.base.obs.profile = common.profile;
   spec.base.obs.counters = common.profile || tracing;
+  spec.base.obs.series = common.series;
+  spec.base.obs.series_bucket = common.series_bucket;
+  spec.base.obs.watch = common.watch;
   spec.base.obs.forensics = tracing || spec.base.obs.forensics;
   spec.run_timeout_seconds = common.run_timeout;
   apply_defense(common, spec.base);
@@ -346,6 +382,13 @@ class JsonRows {
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%.10g", value);
     out_ << buffer;
+    return *this;
+  }
+  /// Injects pre-rendered JSON (e.g. a telemetry series object) as the
+  /// field's value, verbatim.
+  JsonRows& raw_field(const std::string& key, const std::string& json) {
+    open_field(key);
+    out_ << json;
     return *this;
   }
   JsonRows& field(const std::string& key, const std::string& value) {

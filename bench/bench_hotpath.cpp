@@ -3,6 +3,11 @@
 //
 //   ./bench_hotpath [--runs=1] [--seed=1] [--nodes=50,200,500]
 //                   [--duration=120] [--json] [--check=BENCH_baseline.json]
+//                   [--series[=B]] [--watch]
+//
+// With --series each JSON row gains the deterministic telemetry high-water
+// fields (queue_high_water, mem_*): feed two such runs to `lw-report diff`
+// for a per-case perf comparison.
 //
 // Each case runs the full simulator (discovery, routing, LITEWORP monitor,
 // two colluding attackers) and reports wall-clock throughput next to the
@@ -41,6 +46,10 @@ struct CaseResult {
   std::uint64_t frames_delivered = 0;
   std::uint64_t events_executed = 0;
   std::size_t max_queue_depth = 0;
+  // Deterministic telemetry high-water rollup (--series; zero otherwise).
+  bool series = false;
+  std::size_t queue_high_water = 0;
+  lw::obs::MemoryGauges memory_high_water;
   // Wall-clock (machine-dependent, informational).
   double wall_seconds = 0.0;
   lw::obs::ProfileTotals profile;
@@ -67,19 +76,23 @@ std::vector<std::size_t> parse_nodes_list(const std::string& csv) {
   return nodes;
 }
 
-CaseResult run_case(const Case& spec, int runs, std::uint64_t base_seed,
+CaseResult run_case(const Case& spec, const bench::Common& common,
                     double duration) {
   CaseResult result;
   result.spec = spec;
-  result.runs = runs;
-  for (int r = 0; r < runs; ++r) {
+  result.runs = common.runs;
+  result.series = common.series;
+  for (int r = 0; r < common.runs; ++r) {
     auto config = lw::scenario::ExperimentConfig::table2_defaults();
     config.node_count = spec.nodes;
     config.duration = duration;
     config.malicious_count = 2;
-    config.seed = base_seed + static_cast<std::uint64_t>(r);
+    config.seed = common.seed + static_cast<std::uint64_t>(r);
     config.phy.collisions_enabled = spec.collisions;
     config.obs.profile = true;  // events_executed / max_pending counters
+    config.obs.series = common.series;
+    config.obs.series_bucket = common.series_bucket;
+    config.obs.watch = common.watch;
     const auto start = std::chrono::steady_clock::now();
     const lw::scenario::RunResult run = lw::scenario::run_experiment(config);
     result.wall_seconds +=
@@ -90,6 +103,9 @@ CaseResult run_case(const Case& spec, int runs, std::uint64_t base_seed,
     result.events_executed += run.profile.events_executed;
     result.max_queue_depth =
         std::max(result.max_queue_depth, run.profile.max_queue_depth);
+    result.queue_high_water =
+        std::max(result.queue_high_water, run.series.queue_high_water);
+    result.memory_high_water.max_with(run.series.memory_high_water);
     result.profile.accumulate(run.profile);
   }
   return result;
@@ -109,9 +125,14 @@ long long baseline_value(const std::string& text, const std::string& name,
 }
 
 /// Compares the deterministic counters of `results` against the recorded
-/// baseline; returns the number of drifted fields (0 = pass).
+/// baseline; returns the number of drifted fields (0 = pass). A failure
+/// prints one expected-vs-actual table per drifted case plus the exact
+/// regeneration command, so the fix (or the investigation) needs no
+/// spelunking through the baseline file.
 int check_against_baseline(const std::string& path,
-                           const std::vector<CaseResult>& results) {
+                           const std::vector<CaseResult>& results,
+                           const bench::Common& common, double duration,
+                           const std::string& nodes_csv) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
@@ -125,30 +146,47 @@ int check_against_baseline(const std::string& path,
   std::erase_if(text, [](unsigned char c) { return std::isspace(c) != 0; });
 
   int drift = 0;
-  const auto expect = [&](const std::string& name, const std::string& key,
-                          long long got) {
-    const long long want = baseline_value(text, name, key);
-    if (want < 0) {
-      std::fprintf(stderr, "baseline missing %s.%s\n", name.c_str(),
-                   key.c_str());
-      ++drift;
-    } else if (want != got) {
-      std::fprintf(stderr, "DRIFT %s.%s: baseline %lld, run %lld\n",
-                   name.c_str(), key.c_str(), want, got);
-      ++drift;
-    }
-  };
   for (const CaseResult& r : results) {
-    expect(r.spec.name, "frames_transmitted",
-           static_cast<long long>(r.frames_transmitted));
-    expect(r.spec.name, "frames_delivered",
-           static_cast<long long>(r.frames_delivered));
-    expect(r.spec.name, "events_executed",
-           static_cast<long long>(r.events_executed));
+    struct Row {
+      const char* key;
+      long long got;
+    };
+    const Row rows[] = {
+        {"frames_transmitted", static_cast<long long>(r.frames_transmitted)},
+        {"frames_delivered", static_cast<long long>(r.frames_delivered)},
+        {"events_executed", static_cast<long long>(r.events_executed)},
+    };
+    bool header_printed = false;
+    for (const Row& row : rows) {
+      const long long want = baseline_value(text, r.spec.name, row.key);
+      if (want == row.got) continue;
+      ++drift;
+      if (!header_printed) {
+        header_printed = true;
+        std::fprintf(stderr, "DRIFT in case %s:\n", r.spec.name.c_str());
+        std::fprintf(stderr, "  %-20s %14s %14s %10s\n", "counter",
+                     "baseline", "run", "delta");
+      }
+      if (want < 0) {
+        std::fprintf(stderr, "  %-20s %14s %14lld %10s\n", row.key,
+                     "(missing)", row.got, "-");
+      } else {
+        std::fprintf(stderr, "  %-20s %14lld %14lld %+10lld\n", row.key, want,
+                     row.got, row.got - want);
+      }
+    }
   }
   if (drift == 0) {
     std::fprintf(stderr, "baseline check passed: %zu cases, no drift\n",
                  results.size());
+  } else {
+    std::fprintf(
+        stderr,
+        "%d counter(s) drifted. If the change is intended, regenerate with:\n"
+        "  bench_hotpath --json --runs=%d --seed=%llu --duration=%g "
+        "--nodes=%s > %s\n",
+        drift, common.runs, static_cast<unsigned long long>(common.seed),
+        duration, nodes_csv.c_str(), path.c_str());
   }
   return drift;
 }
@@ -179,7 +217,7 @@ int main(int argc, char** argv) {
     if (!common.quiet) {
       std::fprintf(stderr, "running %s...\n", c.name.c_str());
     }
-    results.push_back(run_case(c, common.runs, common.seed, duration));
+    results.push_back(run_case(c, common, duration));
     if (show_profile) {
       const CaseResult& r = results.back();
       std::fprintf(stderr, "%s per layer:", c.name.c_str());
@@ -193,7 +231,10 @@ int main(int argc, char** argv) {
   }
 
   if (!check_file.empty()) {
-    return check_against_baseline(check_file, results) == 0 ? 0 : 1;
+    return check_against_baseline(check_file, results, common, duration,
+                                  nodes_csv) == 0
+               ? 0
+               : 1;
   }
 
   if (common.json) {
@@ -209,8 +250,23 @@ int main(int argc, char** argv) {
                  static_cast<double>(r.frames_transmitted))
           .field("frames_delivered", static_cast<double>(r.frames_delivered))
           .field("events_executed", static_cast<double>(r.events_executed))
-          .field("max_queue_depth", static_cast<double>(r.max_queue_depth))
-          .field("wall_seconds", r.wall_seconds)
+          .field("max_queue_depth", static_cast<double>(r.max_queue_depth));
+      if (r.series) {
+        // Telemetry high-water rollup: deterministic per seed, so two
+        // --series runs diff cleanly through lw-report.
+        rows.field("queue_high_water",
+                   static_cast<double>(r.queue_high_water))
+            .field("mem_slab_slots",
+                   static_cast<double>(r.memory_high_water.slab_slots))
+            .field("mem_watch_entries",
+                   static_cast<double>(r.memory_high_water.watch_entries))
+            .field("mem_neighbor_bytes",
+                   static_cast<double>(r.memory_high_water.neighbor_bytes))
+            .field("mem_defense_storage_bytes",
+                   static_cast<double>(
+                       r.memory_high_water.defense_storage_bytes));
+      }
+      rows.field("wall_seconds", r.wall_seconds)
           .field("frames_per_second", r.frames_per_second())
           .field("events_per_second", r.events_per_second());
       rows.end_row();

@@ -30,6 +30,17 @@ struct HistogramSummary {
   double p95 = 0.0;
 };
 
+/// The O(1) exact aggregates of a Histogram: everything that does not need
+/// the reservoir. This is what the telemetry sampler reads at every bucket
+/// boundary — reading never touches (or perturbs) the reservoir state, so
+/// sampling a run cannot change its final percentiles.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
 /// Bounded-memory histogram: exact count/min/max/mean plus a fixed-size
 /// uniform reservoir (Vitter's Algorithm R, deterministic — the RNG is a
 /// splitmix64 stream seeded from the run seed) that the summary
@@ -50,6 +61,10 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   std::size_t capacity() const { return capacity_; }
   HistogramSummary summary() const;
+
+  /// Cheap exact aggregates (count/min/max/sum) without sorting or copying
+  /// the reservoir; safe to call at any frequency.
+  HistogramSnapshot snapshot() const { return {count_, min_, max_, sum_}; }
 
  private:
   std::uint64_t next_random();
@@ -106,6 +121,11 @@ class RegistrySink final : public EventSink {
 
   /// Materializes counter/histogram names; zero-count kinds are omitted.
   RegistrySnapshot snapshot() const;
+
+  /// Direct histogram access for the telemetry sampler's per-bucket
+  /// Histogram::snapshot() reads (const: cannot perturb the reservoirs).
+  const Histogram& deliver_latency() const { return deliver_latency_; }
+  const Histogram& backoff_delay() const { return backoff_delay_; }
 
  private:
   std::uint64_t by_kind_[kEventKindCount] = {};

@@ -20,6 +20,16 @@ struct Options {
   /// Profile the run (RunResult::profile): per-layer wall time and event
   /// counts, events/second, simulator queue high-water mark.
   bool profile = false;
+  /// Sample a deterministic sim-time telemetry series
+  /// (RunResult::series): per-bucket layer event rates, queue depth and
+  /// high-water, memory gauges. Implies counters (the sampler reads the
+  /// registry's latency histogram per bucket).
+  bool series = false;
+  /// Series bucket width in simulated seconds.
+  double series_bucket = 1.0;
+  /// Live progress view on stderr while the run executes (wall-clock
+  /// throttled; display only — never affects results).
+  bool watch = false;
   /// Fold monitor/attack events into labeled detection incidents
   /// (RunResult::incidents / RunResult::forensics): per accused node the
   /// accusing guards, suspicion kinds, MalC/alert timeline, detection
@@ -27,7 +37,9 @@ struct Options {
   /// attack-layer ground truth.
   bool forensics = false;
 
-  bool any() const { return trace || counters || profile || forensics; }
+  bool any() const {
+    return trace || counters || profile || series || forensics;
+  }
 };
 
 }  // namespace lw::obs

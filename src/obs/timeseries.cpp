@@ -1,0 +1,152 @@
+#include "obs/timeseries.h"
+
+#include <sstream>
+
+namespace lw::obs {
+namespace {
+
+/// Matches the sweep JSON emitter: round-trippable doubles, no locale.
+void append_double(std::ostringstream& out, double value) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << value;
+  out << tmp.str();
+}
+
+void append_gauges(std::ostringstream& out, const MemoryGauges& gauges) {
+  out << "{\"slab_slots\":" << gauges.slab_slots
+      << ",\"watch_entries\":" << gauges.watch_entries
+      << ",\"neighbor_bytes\":" << gauges.neighbor_bytes
+      << ",\"defense_storage_bytes\":" << gauges.defense_storage_bytes << "}";
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(Duration bucket_seconds)
+    : bucket_seconds_(bucket_seconds) {}
+
+void TelemetrySampler::on_event(const Event& event) {
+  ++open_layer_events_[static_cast<std::size_t>(layer_of(event.kind))];
+  ++open_events_emitted_;
+}
+
+SeriesBucket TelemetrySampler::make_bucket(Time start,
+                                           const BucketSample& sample) const {
+  SeriesBucket bucket;
+  bucket.start = start;
+  bucket.layer_events = open_layer_events_;
+  bucket.events_emitted = open_events_emitted_;
+  bucket.events_executed = sample.events_executed - prev_events_executed_;
+  if (registry_ != nullptr) {
+    const HistogramSnapshot lat = registry_->deliver_latency().snapshot();
+    bucket.deliveries = lat.count - prev_deliveries_;
+    bucket.delivery_latency_sum = lat.sum - prev_delivery_latency_sum_;
+  }
+  bucket.queue_depth = sample.queue_depth;
+  bucket.queue_high_water = sample.queue_high_water;
+  bucket.memory = sample.memory;
+  if (profiler_ != nullptr) {
+    const auto& layers = profiler_->layers();
+    for (std::size_t i = 0; i < kLayerCount; ++i) {
+      bucket.layer_self_seconds[i] =
+          layers[i].self_seconds - prev_self_seconds_[i];
+    }
+  }
+  return bucket;
+}
+
+bool TelemetrySampler::open_bucket_active(const BucketSample& sample) const {
+  return open_events_emitted_ > 0 ||
+         sample.events_executed > prev_events_executed_;
+}
+
+void TelemetrySampler::close_bucket(Time boundary, const BucketSample& sample) {
+  closed_.push_back(make_bucket(open_start_, sample));
+  open_start_ = boundary;
+  open_layer_events_ = {};
+  open_events_emitted_ = 0;
+  prev_events_executed_ = sample.events_executed;
+  if (registry_ != nullptr) {
+    const HistogramSnapshot lat = registry_->deliver_latency().snapshot();
+    prev_deliveries_ = lat.count;
+    prev_delivery_latency_sum_ = lat.sum;
+  }
+  if (profiler_ != nullptr) {
+    const auto& layers = profiler_->layers();
+    for (std::size_t i = 0; i < kLayerCount; ++i) {
+      prev_self_seconds_[i] = layers[i].self_seconds;
+    }
+  }
+}
+
+SeriesReport TelemetrySampler::report(const BucketSample& final_sample) const {
+  SeriesReport report;
+  report.enabled = true;
+  report.bucket_seconds = bucket_seconds_;
+  report.buckets = closed_;
+  // Tail activity after the last boundary becomes a trailing partial
+  // bucket; a quiet tail (e.g. duration an exact multiple of the bucket)
+  // adds nothing, keeping the series free of an all-zero sentinel row.
+  if (open_bucket_active(final_sample)) {
+    report.buckets.push_back(make_bucket(open_start_, final_sample));
+  }
+  for (const SeriesBucket& bucket : report.buckets) {
+    if (bucket.queue_high_water > report.queue_high_water) {
+      report.queue_high_water = bucket.queue_high_water;
+    }
+    report.memory_high_water.max_with(bucket.memory);
+  }
+  return report;
+}
+
+std::string series_to_json(const SeriesReport& report, bool include_timing) {
+  std::ostringstream out;
+  out << "{\"bucket_seconds\":";
+  append_double(out, report.bucket_seconds);
+  out << ",\"queue_high_water\":" << report.queue_high_water
+      << ",\"memory_high_water\":";
+  append_gauges(out, report.memory_high_water);
+  out << ",\"buckets\":[";
+  bool first_bucket = true;
+  for (const SeriesBucket& bucket : report.buckets) {
+    if (!first_bucket) out << ",";
+    first_bucket = false;
+    out << "{\"start\":";
+    append_double(out, bucket.start);
+    out << ",\"events_emitted\":" << bucket.events_emitted
+        << ",\"events_executed\":" << bucket.events_executed
+        << ",\"layers\":{";
+    bool first_layer = true;
+    for (std::size_t i = 0; i < kLayerCount; ++i) {
+      if (bucket.layer_events[i] == 0) continue;
+      if (!first_layer) out << ",";
+      first_layer = false;
+      out << "\"" << to_string(static_cast<Layer>(i))
+          << "\":" << bucket.layer_events[i];
+    }
+    out << "},\"deliveries\":" << bucket.deliveries
+        << ",\"delivery_latency_sum\":";
+    append_double(out, bucket.delivery_latency_sum);
+    out << ",\"queue_depth\":" << bucket.queue_depth
+        << ",\"queue_high_water\":" << bucket.queue_high_water
+        << ",\"memory\":";
+    append_gauges(out, bucket.memory);
+    if (include_timing) {
+      out << ",\"self_seconds\":{";
+      bool first_timed = true;
+      for (std::size_t i = 0; i < kLayerCount; ++i) {
+        if (bucket.layer_self_seconds[i] == 0.0) continue;
+        if (!first_timed) out << ",";
+        first_timed = false;
+        out << "\"" << to_string(static_cast<Layer>(i)) << "\":";
+        append_double(out, bucket.layer_self_seconds[i]);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace lw::obs

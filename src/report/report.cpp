@@ -1,0 +1,381 @@
+#include "report/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace lw::report {
+namespace {
+
+/// Metric values are counters or seconds; %.10g prints both compactly and
+/// round-trips every integer the benches emit.
+std::string format_number(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string format_delta(double a, double b) {
+  const double delta = b - a;
+  std::string text = (delta > 0 ? "+" : "") + format_number(delta);
+  if (a != 0.0) {
+    char rel[32];
+    std::snprintf(rel, sizeof(rel), " (%+.2f%%)", 100.0 * delta / a);
+    text += rel;
+  }
+  return text;
+}
+
+void flatten_numbers(const util::JsonValue& object, const std::string& prefix,
+                     CaseMetrics* out) {
+  for (const auto& [key, value] : object.members()) {
+    if (value.is_number()) {
+      out->metrics.emplace_back(prefix + key, value.as_number());
+    } else if (value.is_bool()) {
+      out->metrics.emplace_back(prefix + key, value.as_bool() ? 1.0 : 0.0);
+    }
+  }
+}
+
+std::vector<CaseMetrics> parse_bench_rows(const util::JsonValue& root) {
+  std::vector<CaseMetrics> cases;
+  for (const util::JsonValue& row : root.items()) {
+    if (!row.is_object()) {
+      throw std::runtime_error("bench rows must be objects");
+    }
+    CaseMetrics metrics;
+    metrics.name = row.string_or("case", "");
+    if (metrics.name.empty()) {
+      metrics.name = row.string_or("label", "");
+    }
+    if (metrics.name.empty()) {
+      metrics.name = "row" + std::to_string(cases.size());
+    }
+    flatten_numbers(row, "", &metrics);
+    cases.push_back(std::move(metrics));
+  }
+  return cases;
+}
+
+std::vector<CaseMetrics> parse_sweep(const util::JsonValue& root) {
+  const util::JsonValue* points = root.find("points");
+  if (points == nullptr || !points->is_array()) {
+    throw std::runtime_error(
+        "unrecognized input: expected a bench row array or a sweep object "
+        "with \"points\"");
+  }
+  std::vector<CaseMetrics> cases;
+  for (const util::JsonValue& point : points->items()) {
+    CaseMetrics metrics;
+    metrics.name = point.string_or("label", "");
+    if (metrics.name.empty()) {
+      metrics.name = "point" + std::to_string(cases.size());
+    }
+    if (const util::JsonValue* agg = point.find("aggregate")) {
+      flatten_numbers(*agg, "", &metrics);
+    }
+    if (const util::JsonValue* counters = point.find("counters")) {
+      flatten_numbers(*counters, "counter.", &metrics);
+    }
+    if (const util::JsonValue* profile = point.find("profile")) {
+      flatten_numbers(*profile, "profile.", &metrics);
+    }
+    // Replica-level telemetry rolls up to per-point high-waters (max), the
+    // figures a perf report compares.
+    if (const util::JsonValue* replicas = point.find("replicas")) {
+      double queue_hw = -1.0;
+      CaseMetrics memory_hw;
+      for (const util::JsonValue& replica : replicas->items()) {
+        const util::JsonValue* series = replica.find("series");
+        if (series == nullptr) continue;
+        queue_hw = std::max(queue_hw,
+                            series->number_or("queue_high_water", 0.0));
+        if (const util::JsonValue* mem = series->find("memory_high_water")) {
+          for (const auto& [key, value] : mem->members()) {
+            if (!value.is_number()) continue;
+            const std::string name = "series.mem_" + key;
+            bool found = false;
+            for (auto& [existing, current] : memory_hw.metrics) {
+              if (existing == name) {
+                current = std::max(current, value.as_number());
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              memory_hw.metrics.emplace_back(name, value.as_number());
+            }
+          }
+        }
+      }
+      if (queue_hw >= 0.0) {
+        metrics.metrics.emplace_back("series.queue_high_water", queue_hw);
+        for (auto& entry : memory_hw.metrics) {
+          metrics.metrics.push_back(std::move(entry));
+        }
+      }
+    }
+    cases.push_back(std::move(metrics));
+  }
+  return cases;
+}
+
+const CaseMetrics* find_case(const std::vector<CaseMetrics>& cases,
+                             const std::string& name) {
+  for (const CaseMetrics& c : cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void escape_json_string(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool CaseMetrics::has(const std::string& key) const {
+  for (const auto& [name, value] : metrics) {
+    (void)value;
+    if (name == key) return true;
+  }
+  return false;
+}
+
+double CaseMetrics::get(const std::string& key, double fallback) const {
+  for (const auto& [name, value] : metrics) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+bool is_wall_metric(const std::string& name) {
+  return name == "wall_seconds" || name == "cpu_seconds" ||
+         name.find("per_second") != std::string::npos ||
+         name.find("wall_") != std::string::npos ||
+         name.find(".wall") != std::string::npos ||
+         name.find("self_seconds") != std::string::npos;
+}
+
+std::vector<CaseMetrics> parse_cases(const util::JsonValue& root) {
+  if (root.is_array()) return parse_bench_rows(root);
+  if (root.is_object()) return parse_sweep(root);
+  throw std::runtime_error(
+      "unrecognized input: expected a bench row array or a sweep object");
+}
+
+std::string render_markdown(const std::vector<CaseMetrics>& cases,
+                            const std::string& title) {
+  std::ostringstream out;
+  out << "# " << title << "\n";
+  for (const CaseMetrics& c : cases) {
+    out << "\n## " << c.name << "\n\n";
+    out << "| metric | value |\n|---|---:|\n";
+    // Deterministic metrics first, wall-clock after: the stable half of
+    // the report reads before the machine-dependent half.
+    for (const bool wall_pass : {false, true}) {
+      for (const auto& [name, value] : c.metrics) {
+        if (is_wall_metric(name) != wall_pass) continue;
+        out << "| " << (wall_pass ? "_" : "") << name
+            << (wall_pass ? "_" : "") << " | " << format_number(value)
+            << " |\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+DiffReport diff_cases(const std::vector<CaseMetrics>& a,
+                      const std::vector<CaseMetrics>& b,
+                      const DiffOptions& options) {
+  DiffReport report;
+  std::ostringstream out;
+  out << "# Perf diff (B vs A)\n";
+  out << "\nDeterministic metrics must match exactly; wall-clock metrics "
+         "are flagged beyond "
+      << format_number(100.0 * options.wall_tolerance)
+      << "% slowdown.\n";
+  for (const CaseMetrics& cb : b) {
+    const CaseMetrics* ca = find_case(a, cb.name);
+    out << "\n## " << cb.name << "\n\n";
+    if (ca == nullptr) {
+      out << "_only in B (new case; not compared)_\n";
+      continue;
+    }
+    out << "| metric | A | B | delta | verdict |\n|---|---:|---:|---:|---|\n";
+    for (const auto& [name, value_b] : cb.metrics) {
+      if (!ca->has(name)) {
+        out << "| " << name << " | - | " << format_number(value_b)
+            << " | - | new |\n";
+        continue;
+      }
+      const double value_a = ca->get(name, 0.0);
+      std::string verdict = "ok";
+      if (is_wall_metric(name)) {
+        // Higher wall_seconds is slower; higher *_per_second is faster.
+        const bool higher_is_slower =
+            name.find("per_second") == std::string::npos;
+        const double rel =
+            value_a != 0.0 ? (value_b - value_a) / value_a : 0.0;
+        const double slowdown = higher_is_slower ? rel : -rel;
+        if (slowdown > options.wall_tolerance) {
+          verdict = "REGRESSION";
+          ++report.regressions;
+        } else if (slowdown < -options.wall_tolerance) {
+          verdict = "improved";
+        }
+      } else if (value_a != value_b) {
+        verdict = "DRIFT";
+        ++report.regressions;
+      }
+      out << "| " << name << " | " << format_number(value_a) << " | "
+          << format_number(value_b) << " | " << format_delta(value_a, value_b)
+          << " | " << verdict << " |\n";
+    }
+    for (const auto& [name, value_a] : ca->metrics) {
+      if (!cb.has(name)) {
+        out << "| " << name << " | " << format_number(value_a)
+            << " | - | - | removed |\n";
+      }
+    }
+  }
+  for (const CaseMetrics& ca : a) {
+    if (find_case(b, ca.name) == nullptr) {
+      out << "\n## " << ca.name << "\n\n_only in A (not compared)_\n";
+    }
+  }
+  out << "\n**" << report.regressions << " regression(s)**\n";
+  report.markdown = out.str();
+  return report;
+}
+
+std::string history_append(const std::string& history_json,
+                           const std::string& label,
+                           const std::vector<CaseMetrics>& cases) {
+  std::ostringstream out;
+  out << "{\"entries\":[";
+  bool first = true;
+  if (!history_json.empty()) {
+    // Existing entries are re-serialized through this same writer, so the
+    // document converges to one canonical byte form regardless of how it
+    // was first created.
+    const util::JsonValue root = util::JsonValue::parse(history_json);
+    const util::JsonValue* entries = root.find("entries");
+    if (entries == nullptr || !entries->is_array()) {
+      throw std::runtime_error("history: expected {\"entries\":[...]}");
+    }
+    for (const util::JsonValue& entry : entries->items()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"label\":";
+      escape_json_string(out, entry.string_or("label", ""));
+      out << ",\"cases\":[";
+      const util::JsonValue* entry_cases = entry.find("cases");
+      bool first_case = true;
+      if (entry_cases != nullptr) {
+        for (const util::JsonValue& c : entry_cases->items()) {
+          if (!first_case) out << ",";
+          first_case = false;
+          out << "{\"case\":";
+          escape_json_string(out, c.string_or("case", ""));
+          for (const auto& [key, value] : c.members()) {
+            if (key == "case" || !value.is_number()) continue;
+            out << ",\"" << key << "\":" << format_number(value.as_number());
+          }
+          out << "}";
+        }
+      }
+      out << "]}";
+    }
+  }
+  if (!first) out << ",";
+  out << "{\"label\":";
+  escape_json_string(out, label);
+  out << ",\"cases\":[";
+  bool first_case = true;
+  for (const CaseMetrics& c : cases) {
+    if (!first_case) out << ",";
+    first_case = false;
+    out << "{\"case\":";
+    escape_json_string(out, c.name);
+    for (const auto& [name, value] : c.metrics) {
+      // Wall metrics are machine-dependent; the ledger records only what
+      // every machine must reproduce.
+      if (is_wall_metric(name)) continue;
+      out << ",\"" << name << "\":" << format_number(value);
+    }
+    out << "}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+HistoryCheck history_check(const std::string& history_json,
+                           const std::vector<CaseMetrics>& cases) {
+  HistoryCheck check;
+  if (history_json.empty()) {
+    check.message = "history empty: nothing to check against\n";
+    return check;
+  }
+  const util::JsonValue root = util::JsonValue::parse(history_json);
+  const util::JsonValue* entries = root.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    throw std::runtime_error("history: expected {\"entries\":[...]}");
+  }
+  if (entries->items().empty()) {
+    check.message = "history empty: nothing to check against\n";
+    return check;
+  }
+  const util::JsonValue& newest = entries->items().back();
+  std::ostringstream out;
+  int drift = 0;
+  int compared = 0;
+  const util::JsonValue* newest_cases = newest.find("cases");
+  for (const CaseMetrics& current : cases) {
+    const util::JsonValue* recorded = nullptr;
+    if (newest_cases != nullptr) {
+      for (const util::JsonValue& c : newest_cases->items()) {
+        if (c.string_or("case", "") == current.name) {
+          recorded = &c;
+          break;
+        }
+      }
+    }
+    if (recorded == nullptr) {
+      out << "  " << current.name << ": not in history (new case, passes)\n";
+      continue;
+    }
+    for (const auto& [key, value] : recorded->members()) {
+      if (key == "case" || !value.is_number()) continue;
+      if (!current.has(key)) {
+        out << "  " << current.name << "." << key
+            << ": recorded but absent from this run (passes)\n";
+        continue;
+      }
+      ++compared;
+      const double got = current.get(key, 0.0);
+      if (got != value.as_number()) {
+        ++drift;
+        out << "  DRIFT " << current.name << "." << key << ": history "
+            << format_number(value.as_number()) << ", run "
+            << format_number(got) << "\n";
+      }
+    }
+  }
+  check.ok = drift == 0;
+  std::ostringstream message;
+  message << "history check vs entry \"" << newest.string_or("label", "")
+          << "\": " << compared << " metric(s) compared, " << drift
+          << " drifted\n"
+          << out.str();
+  check.message = message.str();
+  return check;
+}
+
+}  // namespace lw::report

@@ -1,0 +1,96 @@
+// Perf-report rendering: the library behind the lw-report CLI.
+//
+// Input is the repo's own machine output — a bench row array
+// (bench_hotpath --json) or a sweep JSON object (any sweep bench with
+// --json) — normalized into CaseMetrics: one named case with its numeric
+// metrics in document order. On top of that the library renders markdown
+// reports, diffs two runs A/B with per-metric deltas and thresholds, and
+// maintains BENCH_history.json (append / check), the regression ledger CI
+// carries forward.
+//
+// Metric classes: a metric is WALL-CLOCK when its name says so
+// (wall_seconds, *_per_second, cpu_seconds) and DETERMINISTIC otherwise.
+// Deterministic metrics must match exactly between runs of the same seed —
+// any delta is a correctness signal. Wall metrics are machine-dependent;
+// diffs flag them only beyond a relative threshold, and the history file
+// never stores them (so it stays byte-stable across machines).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace lw::report {
+
+/// One benchmark case (bench row) or sweep point, flattened to numbers.
+struct CaseMetrics {
+  std::string name;
+  /// Document order preserved: reports list metrics as the producer wrote
+  /// them.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  bool has(const std::string& key) const;
+  double get(const std::string& key, double fallback) const;
+};
+
+/// True for machine-dependent metrics (wall_seconds, *_per_second, ...).
+bool is_wall_metric(const std::string& name);
+
+/// Normalizes either supported input shape:
+///  - top-level array of flat objects with a "case" member (bench rows)
+///  - top-level object with "points" (sweep JSON; each point's label +
+///    aggregate scalars, prefixed counters, and profile totals)
+/// Throws std::runtime_error on any other shape.
+std::vector<CaseMetrics> parse_cases(const util::JsonValue& root);
+
+/// Renders one run as a markdown report: a metrics table per case, wall
+/// metrics segregated below the deterministic ones.
+std::string render_markdown(const std::vector<CaseMetrics>& cases,
+                            const std::string& title);
+
+struct DiffOptions {
+  /// Relative change beyond which a wall-clock metric is flagged
+  /// (0.10 = 10%). Only slowdowns count as regressions; speedups are
+  /// reported but never fail the diff.
+  double wall_tolerance = 0.10;
+};
+
+struct DiffReport {
+  std::string markdown;
+  /// Deterministic mismatches + wall slowdowns beyond tolerance. The CLI
+  /// exit code: 0 when zero, 1 otherwise.
+  int regressions = 0;
+};
+
+/// Compares run B (candidate) against run A (reference), case by case.
+/// Cases present in only one run are listed but not counted as
+/// regressions.
+DiffReport diff_cases(const std::vector<CaseMetrics>& a,
+                      const std::vector<CaseMetrics>& b,
+                      const DiffOptions& options);
+
+/// Appends one labeled entry (deterministic metrics only) to a
+/// BENCH_history.json document and returns the new document. `history_json`
+/// may be empty (a fresh file). Throws std::runtime_error on a corrupt
+/// document.
+std::string history_append(const std::string& history_json,
+                           const std::string& label,
+                           const std::vector<CaseMetrics>& cases);
+
+struct HistoryCheck {
+  bool ok = true;
+  /// Human-readable verdict: per-drift lines on failure, a one-line
+  /// confirmation on success.
+  std::string message;
+};
+
+/// Checks `cases` against the NEWEST entry of a BENCH_history.json
+/// document: every deterministic metric recorded there must match exactly.
+/// Cases or metrics absent from the history are noted but pass (they are
+/// new coverage, not drift). An empty history passes.
+HistoryCheck history_check(const std::string& history_json,
+                           const std::vector<CaseMetrics>& cases);
+
+}  // namespace lw::report

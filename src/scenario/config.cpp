@@ -42,6 +42,9 @@ void ExperimentConfig::finalize() {
   if (attack.start_time < traffic.start_time) {
     attack.start_time = traffic.start_time;
   }
+  // The telemetry sampler reads the registry's latency histogram at every
+  // bucket boundary, so a series run always counts.
+  if (obs.series) obs.counters = true;
 }
 
 void ExperimentConfig::validate() const {
@@ -73,6 +76,9 @@ void ExperimentConfig::validate() const {
     reject("explicit positions must cover node_count + late_joiners nodes");
   }
   if (traffic.data_rate < 0.0) reject("data_rate must be non-negative");
+  if ((obs.series || obs.watch) && obs.series_bucket <= 0.0) {
+    reject("series_bucket must be positive");
+  }
   // DefenseConfig throws its own "DefenseConfig: ..." invalid_argument
   // naming the offending backend parameter.
   defense.validate();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 #include "topology/field.h"
@@ -61,6 +62,21 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
     profiler_ = std::make_unique<obs::RunProfiler>();
     recorder_->add_sink(profiler_.get());
     recorder_->set_profiler(profiler_.get());
+  }
+  if (config_.obs.series) {
+    sampler_ = std::make_unique<obs::TelemetrySampler>(
+        config_.obs.series_bucket);
+    sampler_->set_registry(registry_.get());    // finalize() forces counters
+    sampler_->set_profiler(profiler_.get());    // null when profiling off
+    recorder_->add_sink(sampler_.get());
+  }
+  if (config_.obs.series || config_.obs.watch) {
+    // The boundary hook only OBSERVES (sampler close + watch print), so
+    // arming it changes no event, counter, or trace byte of the run.
+    simulator_.set_tick_hook(config_.obs.series_bucket, [this](Time boundary) {
+      if (sampler_) sampler_->close_bucket(boundary, take_bucket_sample());
+      if (config_.obs.watch) print_watch_line(boundary);
+    });
   }
 
   graph_ = std::make_unique<topo::DiscGraph>(build_topology(rngs));
@@ -348,6 +364,59 @@ void Network::emit_false_alert(NodeId guard, NodeId victim) {
   framer.defense()->emit_false_alert(victim);
 }
 
+obs::BucketSample Network::take_bucket_sample() {
+  obs::BucketSample sample;
+  sample.events_executed = simulator_.executed();
+  sample.queue_depth = simulator_.pending();
+  sample.queue_high_water = simulator_.take_window_max_pending();
+  sample.memory.slab_slots = simulator_.slab_slots();
+  // Per-node gauges summed in id order: deterministic, and cheap enough
+  // for once-per-bucket (not per-event) cadence.
+  for (const auto& node : nodes_) {
+    if (const lite::LocalMonitor* monitor = node->monitor()) {
+      sample.memory.watch_entries += monitor->watch_buffer().transmit_records();
+      sample.memory.watch_entries += monitor->watch_buffer().drop_watches();
+    }
+    sample.memory.neighbor_bytes += node->table().storage_bytes();
+    if (const defense::Defense* defense = node->defense()) {
+      sample.memory.defense_storage_bytes += defense->cost().storage_bytes;
+    }
+  }
+  return sample;
+}
+
+obs::SeriesReport Network::series() const {
+  if (!sampler_) return {};
+  // The final sample closes the trailing partial bucket. take_bucket_sample
+  // mutates only the observation window (window-max reset), never the run,
+  // so the const_cast stays honest about simulation state.
+  return sampler_->report(const_cast<Network*>(this)->take_bucket_sample());
+}
+
+void Network::print_watch_line(Time boundary) {
+  const auto now = std::chrono::steady_clock::now();
+  if (watch_running_ && now < watch_next_print_) return;
+  watch_next_print_ = now + std::chrono::milliseconds(250);
+  if (!watch_running_) {
+    watch_started_ = now;
+    watch_running_ = true;
+  }
+  const double wall =
+      std::chrono::duration<double>(now - watch_started_).count();
+  const double duration = config_.duration;
+  const double fraction = duration > 0.0 ? boundary / duration : 0.0;
+  const double eta =
+      fraction > 0.0 ? wall * (1.0 - fraction) / fraction : 0.0;
+  const double rate = wall > 0.0 ? simulator_.executed() / wall : 0.0;
+  std::fprintf(stderr,
+               "\r[watch] t=%.1f/%.1fs (%3.0f%%)  events %llu (%.0f/s wall)  "
+               "queue %zu (hw %zu)  eta %.1fs   ",
+               boundary, duration, 100.0 * fraction,
+               static_cast<unsigned long long>(simulator_.executed()), rate,
+               simulator_.pending(), simulator_.max_pending(), eta);
+  std::fflush(stderr);
+}
+
 defense::CostSnapshot Network::defense_cost() const {
   defense::CostSnapshot total;
   for (const auto& node : nodes_) {
@@ -381,6 +450,13 @@ void Network::run_until(Time t) {
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (watch_running_) {
+    // Terminate the carriage-return progress line so subsequent stderr
+    // output starts on a fresh line.
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    watch_running_ = false;
+  }
 }
 
 obs::ProfileReport Network::profile() const {

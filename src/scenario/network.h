@@ -18,6 +18,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
+#include "obs/timeseries.h"
 #include "obs/trace_writer.h"
 #include "phy/medium.h"
 #include "scenario/node.h"
@@ -84,6 +85,11 @@ class Network : public fault::FaultHost {
   /// the run()/run_until() calls made so far.
   obs::ProfileReport profile() const;
 
+  /// Sim-time telemetry series sampled at obs.series_bucket boundaries
+  /// (enabled flag false unless obs.series). Deterministic: byte-identical
+  /// JSON per seed at any sweep thread count and across build types.
+  obs::SeriesReport series() const;
+
   /// Labeled detection incidents folded live from the event stream (empty
   /// unless obs.forensics). Sorted by accused node id.
   std::vector<forensics::Incident> incidents() const {
@@ -126,6 +132,12 @@ class Network : public fault::FaultHost {
 
  private:
   topo::DiscGraph build_topology(const RngFactory& rngs);
+  /// Deterministic boundary snapshot for the telemetry sampler: queue
+  /// state from the simulator, memory gauges summed over nodes in id
+  /// order.
+  obs::BucketSample take_bucket_sample();
+  /// Wall-throttled stderr progress line (obs.watch); display only.
+  void print_watch_line(Time boundary);
   std::vector<NodeId> pick_malicious(const topo::DiscGraph& graph, Rng& rng,
                                      std::size_t count) const;
   void configure_attack();
@@ -139,8 +151,13 @@ class Network : public fault::FaultHost {
   std::unique_ptr<obs::RegistrySink> registry_;
   std::unique_ptr<forensics::IncidentBuilder> incident_builder_;
   std::unique_ptr<obs::RunProfiler> profiler_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
   std::unique_ptr<obs::Recorder> recorder_;
   double wall_seconds_ = 0.0;
+  /// Wall-clock throttle + run start for the --watch progress line.
+  std::chrono::steady_clock::time_point watch_started_{};
+  std::chrono::steady_clock::time_point watch_next_print_{};
+  bool watch_running_ = false;
   /// atk.spawn ground-truth events go out once, on the first run call.
   bool spawns_emitted_ = false;
   std::unique_ptr<topo::DiscGraph> graph_;

@@ -53,6 +53,7 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.profile = network.profile();
   r.incidents = network.incidents();
   r.forensics = network.forensics_summary();
+  r.series = network.series();
   return r;
 }
 

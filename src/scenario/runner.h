@@ -89,6 +89,8 @@ struct RunResult {
   /// Labeled detection incidents + rollup; enabled mirrors obs.forensics.
   std::vector<forensics::Incident> incidents;
   forensics::ForensicsSummary forensics;
+  /// Sim-time telemetry series; enabled mirrors obs.series.
+  obs::SeriesReport series;
 
   double fraction_dropped() const {
     return data_originated == 0

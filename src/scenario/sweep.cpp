@@ -187,7 +187,9 @@ class JsonOut {
     out_.precision(std::numeric_limits<double>::max_digits10);
   }
 
-  JsonOut& raw(const char* text) {
+  /// Injects pre-rendered JSON (e.g. a series object) as the current value.
+  JsonOut& raw(const std::string& text) {
+    comma();
     out_ << text;
     return *this;
   }
@@ -304,7 +306,7 @@ void emit_aggregate(JsonOut& json, const Aggregate& agg) {
   json.close('}');
 }
 
-void emit_replica(JsonOut& json, const RunResult& r) {
+void emit_replica(JsonOut& json, const RunResult& r, bool include_timing) {
   json.open('{');
   json.key("seed").value(static_cast<std::uint64_t>(r.seed));
   if (r.failed) {
@@ -389,6 +391,11 @@ void emit_replica(JsonOut& json, const RunResult& r) {
     json.close(']');
     json.close('}');
   }
+  if (r.series.enabled) {
+    // Pre-rendered by the obs layer so the golden-series test and the
+    // sweep JSON share one byte-exact serialization.
+    json.key("series").raw(obs::series_to_json(r.series, include_timing));
+  }
   json.close('}');
 }
 
@@ -463,7 +470,9 @@ std::string to_json(const SweepResult& result, bool include_timing) {
       emit_profile(json, point.profile, include_timing);
     }
     json.key("replicas").open('[');
-    for (const RunResult& r : point.replicas) emit_replica(json, r);
+    for (const RunResult& r : point.replicas) {
+      emit_replica(json, r, include_timing);
+    }
     json.close(']');
     json.close('}');
   }

@@ -25,6 +25,29 @@ void Simulator::push(Time when, SmallFn action,
   s.cancelled = std::move(cancelled);
   queue_.push(QueueEntry{when, next_seq_++, slot});
   if (queue_.size() > max_pending_) max_pending_ = queue_.size();
+  if (queue_.size() > window_max_pending_) window_max_pending_ = queue_.size();
+}
+
+void Simulator::set_tick_hook(Duration interval, TickHook hook) {
+  if (interval <= 0.0 || !hook) {
+    tick_interval_ = 0.0;
+    tick_hook_ = nullptr;
+    return;
+  }
+  tick_interval_ = interval;
+  tick_hook_ = std::move(hook);
+  ticks_fired_ = 0;
+  next_tick_ = interval;
+}
+
+void Simulator::fire_ticks(Time upto) {
+  while (next_tick_ <= upto) {
+    tick_hook_(next_tick_);
+    ++ticks_fired_;
+    // Boundary k+1 sits at (k+1) * interval; computed by multiplication,
+    // not accumulation, so long runs do not drift off the bucket grid.
+    next_tick_ = static_cast<double>(ticks_fired_ + 1) * tick_interval_;
+  }
 }
 
 void Simulator::schedule(Duration delay, SmallFn action) {
@@ -69,6 +92,11 @@ std::uint64_t Simulator::run_until(Time horizon) {
   std::uint64_t count = 0;
   while (!queue_.empty() && queue_.top().when <= horizon) {
     const QueueEntry entry = queue_.top();
+    // Bucket boundaries close BEFORE the first event at t >= boundary pops:
+    // the hook sees the queue (and every sink) exactly as of the boundary.
+    if (tick_interval_ > 0.0 && entry.when >= next_tick_) {
+      fire_ticks(entry.when);
+    }
     queue_.pop();
     assert(entry.when >= now_ && "event queue went backwards");
     now_ = entry.when;
@@ -96,6 +124,9 @@ std::uint64_t Simulator::run_all() {
   std::uint64_t count = 0;
   while (!queue_.empty()) {
     const QueueEntry entry = queue_.top();
+    if (tick_interval_ > 0.0 && entry.when >= next_tick_) {
+      fire_ticks(entry.when);
+    }
     queue_.pop();
     now_ = entry.when;
     Slot& slot = slots_[entry.slot];

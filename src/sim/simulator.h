@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -92,12 +93,38 @@ class Simulator {
   /// point instead of a hung worker pool.
   void set_wall_timeout(double seconds);
 
+  /// Called at every crossing of a sim-time bucket boundary with the
+  /// boundary time. Fires from the run loop BEFORE the first event at
+  /// t >= boundary executes (and once per boundary in a quiet gap), so the
+  /// queue and all protocol state reflect exactly the events before the
+  /// boundary — the determinism anchor of the telemetry series. The hook
+  /// observes; it must not schedule events or otherwise mutate the run.
+  using TickHook = std::function<void(Time boundary)>;
+
+  /// Arms the boundary hook with the given bucket width (first boundary at
+  /// `interval`). interval <= 0 (or a null hook) disarms; the clean-path
+  /// cost is then one predictable branch per event.
+  void set_tick_hook(Duration interval, TickHook hook);
+
   /// Number of events currently queued (including cancelled ones).
   std::size_t pending() const { return queue_.size(); }
 
   /// High-water mark of pending(): the queue-depth figure the run
   /// profiler reports.
   std::size_t max_pending() const { return max_pending_; }
+
+  /// High-water mark of pending() since the previous call; resets the
+  /// window to the current depth. Deterministic (queue-state only) —
+  /// the per-bucket queue figure of the telemetry series.
+  std::size_t take_window_max_pending() {
+    const std::size_t peak = window_max_pending_;
+    window_max_pending_ = queue_.size();
+    return peak;
+  }
+
+  /// Size of the event slab (allocated slots, free or live): the
+  /// simulator's own memory high-water in entries, monotone per run.
+  std::size_t slab_slots() const { return slots_.size(); }
 
   /// Total events executed so far.
   std::uint64_t executed() const { return executed_; }
@@ -141,6 +168,8 @@ class Simulator {
   std::uint32_t acquire_slot();
   /// Amortized deadline probe: real check every kWallCheckStride events.
   void check_wall_deadline();
+  /// Fires the tick hook for every boundary <= `upto`, in order.
+  void fire_ticks(Time upto);
 
   static constexpr std::uint32_t kWallCheckStride = 4096;
 
@@ -153,6 +182,12 @@ class Simulator {
   std::uint64_t current_seq_ = kNoEvent;
   std::uint64_t executed_ = 0;
   std::size_t max_pending_ = 0;
+  std::size_t window_max_pending_ = 0;
+  /// Sim-time bucket hook; tick_interval_ <= 0 means disarmed.
+  Duration tick_interval_ = 0.0;
+  TickHook tick_hook_;
+  std::uint64_t ticks_fired_ = 0;
+  Time next_tick_ = 0.0;
   /// Wall-clock watchdog state; wall_limit_seconds_ <= 0 means disarmed
   /// (the per-event cost is then a single predictable branch).
   double wall_limit_seconds_ = 0.0;

@@ -1,0 +1,13 @@
+// Single version constant shared by every CLI surface (lw-trace,
+// lw-report, benches): one place to bump, one answer to --version.
+#pragma once
+
+namespace lw {
+
+/// Simulator/tooling version. Bumped when the machine-readable output
+/// formats (trace JSONL, sweep JSON, series schema, BENCH_history.json)
+/// gain fields; existing fields never change meaning within a major
+/// version.
+inline constexpr const char* kVersionString = "0.7.0";
+
+}  // namespace lw

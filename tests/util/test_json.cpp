@@ -1,0 +1,84 @@
+// util::JsonValue parser: the minimal reader behind lw-report. Covers the
+// value kinds, string escapes, document-order member iteration, lookup
+// helpers, and rejection diagnostics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace lw::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"cases":[{"case":"a","frames":12},{"case":"b","frames":34}],)"
+      R"("meta":{"runs":3}})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* cases = doc.find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_TRUE(cases->is_array());
+  ASSERT_EQ(cases->items().size(), 2u);
+  EXPECT_EQ(cases->items()[1].string_or("case", ""), "b");
+  EXPECT_DOUBLE_EQ(cases->items()[1].number_or("frames", 0.0), 34.0);
+  const JsonValue* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_DOUBLE_EQ(meta->number_or("runs", 0.0), 3.0);
+}
+
+TEST(Json, MembersPreserveDocumentOrder) {
+  const JsonValue doc = JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, DecodesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d\n\t")").as_string(),
+            "a\"b\\c/d\n\t");
+  // BMP \u escape decodes to UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, LookupHelpersFallBackGracefully) {
+  const JsonValue doc = JsonValue::parse(R"({"n":5,"s":"x"})");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", -1.0), -1.0);
+  EXPECT_EQ(doc.string_or("missing", "fallback"), "fallback");
+  // Wrong-kind lookups also fall back instead of throwing.
+  EXPECT_DOUBLE_EQ(doc.number_or("s", -1.0), -1.0);
+  EXPECT_EQ(doc.string_or("n", "fallback"), "fallback");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonParseError);
+}
+
+TEST(Json, ErrorsCarryTheFailureOffset) {
+  try {
+    JsonValue::parse("{\"a\": nope}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_FALSE(std::string(e.what()).empty());
+  }
+}
+
+}  // namespace
+}  // namespace lw::util

@@ -1,0 +1,50 @@
+// Shared CLI conventions for the lw-* tools (lw-trace, lw-report).
+//
+// Every tool:
+//   --version      prints "<tool> <version>" to stdout, exits 0
+//   --help / -h    prints usage to stdout, exits 0
+// and follows the exit-code contract:
+//   0  success (including --help/--version)
+//   1  findings — the tool ran correctly and found something to report
+//      (trace violations, diff mismatches, history drift)
+//   2  usage errors or unreadable/unparseable input
+//
+// Tools call handle_standard_flags() first, before any subcommand parsing,
+// so `lw-trace --version` works without a subcommand or input file.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "util/version.h"
+
+namespace lw::cli {
+
+/// Standard exit codes (see the contract above).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFindings = 1;
+inline constexpr int kExitUsage = 2;
+
+/// Scans the full argv for --version / --help / -h and handles them:
+/// returns the process exit code to use, or nullopt to continue into
+/// normal parsing. `print_usage` writes the tool's usage text to the given
+/// stream (stdout here; the tool reuses it on stderr for usage errors).
+inline std::optional<int> handle_standard_flags(
+    int argc, char** argv, const char* tool,
+    void (*print_usage)(std::FILE*)) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s %s\n", tool, kVersionString);
+      return kExitOk;
+    }
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(stdout);
+      return kExitOk;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lw::cli

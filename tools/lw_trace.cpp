@@ -14,7 +14,8 @@
 //                                forensics/check.h; exit 1 on violations
 //
 // Exit codes: 0 ok, 1 findings (check violations, diff mismatch, unknown
-// lineage), 2 usage or unreadable/unparseable input.
+// lineage), 2 usage or unreadable/unparseable input — the shared lw-*
+// contract (see tools/cli_util.h). --version and --help exit 0.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "forensics/check.h"
 #include "forensics/incident.h"
 #include "forensics/trace_reader.h"
@@ -41,16 +43,21 @@ using lw::forensics::IncidentBuilder;
 using lw::forensics::TraceFormatError;
 using lw::forensics::TraceRecord;
 
-int usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: lw-trace <command> ...\n"
       "  stats <file>                per-event counts and trace overview\n"
       "  follow <file> <lineage-id>  one packet lineage, hop by hop\n"
       "  incidents <file> [--json]   labeled detection incidents\n"
       "  diff <file-a> <file-b>      compare two traces\n"
-      "  check <file> [--gamma=N]    lint trace invariants\n");
-  return 2;
+      "  check <file> [--gamma=N]    lint trace invariants\n"
+      "  --version | --help\n");
+}
+
+int usage() {
+  print_usage(stderr);
+  return lw::cli::kExitUsage;
 }
 
 std::vector<TraceRecord> load(const std::string& path) {
@@ -392,6 +399,10 @@ int cmd_check(const std::string& path, int gamma) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (auto code = lw::cli::handle_standard_flags(argc, argv, "lw-trace",
+                                                 print_usage)) {
+    return *code;
+  }
   if (argc < 2) return usage();
   const std::string command = argv[1];
 
