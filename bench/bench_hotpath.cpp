@@ -1,9 +1,14 @@
 // Hot-path macrobenchmark: whole-stack frames/sec at small, medium, and
 // large N, with and without collisions — the perf trajectory anchor.
 //
-//   ./bench_hotpath [--runs=1] [--seed=1] [--nodes=50,200,500]
+//   ./bench_hotpath [--runs=1] [--seed=1] [--nodes=50,200,500,1000c]
 //                   [--duration=120] [--json] [--check=BENCH_baseline.json]
 //                   [--series[=B]] [--watch]
+//
+// A --nodes entry may carry a `c` (collisions only) or `i` (ideal only)
+// suffix; bare counts run both variants. The default ends with 1000c: a
+// large-N collisions case that exercises the dense-neighborhood fan-out
+// without paying for its ideal twin.
 //
 // With --series each JSON row gains the deterministic telemetry high-water
 // fields (queue_high_water, mem_*): feed two such runs to `lw-report diff`
@@ -66,14 +71,31 @@ struct CaseResult {
   }
 };
 
-std::vector<std::size_t> parse_nodes_list(const std::string& csv) {
-  std::vector<std::size_t> nodes;
+struct NodesSpec {
+  std::size_t nodes = 0;
+  bool collisions_case = true;
+  bool ideal_case = true;
+};
+
+/// Parses the --nodes CSV. A bare count expands to both the _collisions
+/// and _ideal case; a `c` suffix ("1000c") keeps only the collisions
+/// case and an `i` suffix only the ideal one — the large-N entries pay
+/// for one variant, not two.
+std::vector<NodesSpec> parse_nodes_list(const std::string& csv) {
+  std::vector<NodesSpec> specs;
   std::stringstream in(csv);
   std::string item;
   while (std::getline(in, item, ',')) {
-    nodes.push_back(static_cast<std::size_t>(std::stoul(item)));
+    NodesSpec spec;
+    if (!item.empty() && (item.back() == 'c' || item.back() == 'i')) {
+      spec.collisions_case = item.back() == 'c';
+      spec.ideal_case = item.back() == 'i';
+      item.pop_back();
+    }
+    spec.nodes = static_cast<std::size_t>(std::stoul(item));
+    specs.push_back(spec);
   }
-  return nodes;
+  return specs;
 }
 
 CaseResult run_case(const Case& spec, const bench::Common& common,
@@ -197,7 +219,7 @@ int main(int argc, char** argv) {
   lw::Config args = lw::Config::from_args(argc, argv);
   const bench::Common common = bench::parse_common(args, 1, 1);
   const double duration = args.get_double("duration", 120.0);
-  const std::string nodes_csv = args.get_string("nodes", "50,200,500");
+  const std::string nodes_csv = args.get_string("nodes", "50,200,500,1000c");
   const std::string check_file = args.get_string("check", "");
   const bool show_profile = args.get_bool("profile", false);
   if (int status = bench::finish(args)) return status;
@@ -207,9 +229,14 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Case> cases;
-  for (std::size_t n : parse_nodes_list(nodes_csv)) {
-    cases.push_back({"n" + std::to_string(n) + "_collisions", n, true});
-    cases.push_back({"n" + std::to_string(n) + "_ideal", n, false});
+  for (const NodesSpec& spec : parse_nodes_list(nodes_csv)) {
+    const std::string stem = "n" + std::to_string(spec.nodes);
+    if (spec.collisions_case) {
+      cases.push_back({stem + "_collisions", spec.nodes, true});
+    }
+    if (spec.ideal_case) {
+      cases.push_back({stem + "_ideal", spec.nodes, false});
+    }
   }
 
   std::vector<CaseResult> results;

@@ -15,6 +15,7 @@
 #include "sim/simulator.h"
 #include "topology/disc_graph.h"
 #include "topology/field.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace {
@@ -69,6 +70,77 @@ void BM_HmacTagMidstate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HmacTagMidstate);
+
+void BM_HmacBatchSign(benchmark::State& state) {
+  // The fused fan-out signing path: one alert payload tagged under k
+  // pairwise keys in two multi-buffer SHA-256 sweeps. Compare per-tag cost
+  // against BM_HmacTagMidstate (the serial path); range(0) is k.
+  const std::size_t fanout = static_cast<std::size_t>(state.range(0));
+  lw::crypto::KeyManager keys(7);
+  keys.reserve_nodes(fanout + 1);
+  std::vector<lw::NodeId> peers;
+  for (std::size_t i = 1; i <= fanout; ++i) {
+    peers.push_back(static_cast<lw::NodeId>(i));
+  }
+  std::vector<lw::crypto::AuthTag> tags(fanout);
+  for (auto _ : state) {
+    keys.sign_batch(0, peers, "alert|1|2|accused=9", tags.data());
+    benchmark::DoNotOptimize(tags.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fanout));
+}
+BENCHMARK(BM_HmacBatchSign)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HmacSerialSign(benchmark::State& state) {
+  // Serial reference for BM_HmacBatchSign: same keys, same payload, one
+  // midstate-cached HMAC at a time.
+  const std::size_t fanout = static_cast<std::size_t>(state.range(0));
+  lw::crypto::KeyManager keys(7);
+  keys.reserve_nodes(fanout + 1);
+  std::vector<lw::crypto::AuthTag> tags(fanout);
+  for (auto _ : state) {
+    for (std::size_t i = 1; i <= fanout; ++i) {
+      tags[i - 1] = keys.sign(0, static_cast<lw::NodeId>(i),
+                              "alert|1|2|accused=9");
+    }
+    benchmark::DoNotOptimize(tags.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fanout));
+}
+BENCHMARK(BM_HmacSerialSign)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ArenaPoolAllocFree(benchmark::State& state) {
+  // Pool-arena recycle cost at a mixed working set: what every
+  // steady-state container refill pays instead of malloc/free. The vector
+  // round-trips release each block back to the size-class freelist.
+  for (auto _ : state) {
+    lw::util::PoolVector<std::uint64_t> small;
+    small.resize(16);
+    lw::util::PoolVector<std::uint64_t> medium;
+    medium.resize(256);
+    benchmark::DoNotOptimize(small.data());
+    benchmark::DoNotOptimize(medium.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ArenaPoolAllocFree);
+
+void BM_MallocFreeReference(benchmark::State& state) {
+  // Heap reference for BM_ArenaPoolAllocFree: identical shapes through the
+  // global allocator.
+  for (auto _ : state) {
+    std::vector<std::uint64_t> small;
+    small.resize(16);
+    std::vector<std::uint64_t> medium;
+    medium.resize(256);
+    benchmark::DoNotOptimize(small.data());
+    benchmark::DoNotOptimize(medium.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MallocFreeReference);
 
 void BM_PairwiseKeyDerivation(benchmark::State& state) {
   lw::crypto::KeyManager keys(7);

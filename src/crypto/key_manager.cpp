@@ -1,15 +1,10 @@
 #include "crypto/key_manager.h"
 
 #include <algorithm>
+#include <array>
 
 namespace lw::crypto {
 namespace {
-
-void append_u32(std::string& out, std::uint32_t v) {
-  for (int i = 3; i >= 0; --i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
 
 void append_u64(Key& out, std::uint64_t v) {
   for (int i = 7; i >= 0; --i) {
@@ -17,14 +12,24 @@ void append_u64(Key& out, std::uint64_t v) {
   }
 }
 
-}  // namespace
-
-namespace {
-
 HmacKey make_master_state(std::uint64_t master_secret) {
   Key master;
   append_u64(master, master_secret);
   return HmacKey(master);
+}
+
+/// "pairwise:" || u32(lo) || u32(hi), in a stack buffer — the derivation
+/// label never touches the heap.
+constexpr std::size_t kLabelBytes = 9 + 4 + 4;
+
+std::array<std::uint8_t, kLabelBytes> pair_label(NodeId lo, NodeId hi) {
+  std::array<std::uint8_t, kLabelBytes> label{'p', 'a', 'i', 'r', 'w',
+                                              'i', 's', 'e', ':'};
+  for (int i = 0; i < 4; ++i) {
+    label[9 + i] = static_cast<std::uint8_t>((lo >> (8 * (3 - i))) & 0xFF);
+    label[13 + i] = static_cast<std::uint8_t>((hi >> (8 * (3 - i))) & 0xFF);
+  }
+  return label;
 }
 
 }  // namespace
@@ -32,25 +37,49 @@ HmacKey make_master_state(std::uint64_t master_secret) {
 KeyManager::KeyManager(std::uint64_t master_secret)
     : master_state_(make_master_state(master_secret)) {}
 
+void KeyManager::reserve_nodes(std::size_t count) {
+  if (count <= reserved_nodes_) return;
+  // Growing an existing reservation would need an index remap; no caller
+  // grows the deployment after wiring, so rebuild from scratch (cached
+  // states re-derive on demand).
+  reserved_nodes_ = count;
+  slot_index_.assign(count * (count + 1) / 2, -1);
+  states_.clear();
+}
+
 Key KeyManager::pairwise_key(NodeId a, NodeId b) const {
-  NodeId lo = std::min(a, b);
-  NodeId hi = std::max(a, b);
-  std::string label = "pairwise:";
-  append_u32(label, lo);
-  append_u32(label, hi);
-  Digest digest = master_state_.digest(label);
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  const auto label = pair_label(lo, hi);
+  Digest digest = master_state_.digest(std::span<const std::uint8_t>(label));
   return Key(digest.begin(), digest.end());
+}
+
+HmacKey KeyManager::derive_state(NodeId lo, NodeId hi) const {
+  const auto label = pair_label(lo, hi);
+  const Digest digest =
+      master_state_.digest(std::span<const std::uint8_t>(label));
+  return HmacKey(std::span<const std::uint8_t>(digest));
 }
 
 const HmacKey& KeyManager::pairwise_state(NodeId a, NodeId b) const {
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
+  if (hi < reserved_nodes_) {
+    const std::size_t idx = static_cast<std::size_t>(hi) * (hi + 1) / 2 + lo;
+    std::int32_t slot = slot_index_[idx];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(states_.size());
+      states_.push_back(derive_state(lo, hi));
+      slot_index_[idx] = slot;
+    }
+    return states_[static_cast<std::size_t>(slot)];
+  }
   const std::uint64_t pair =
       (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint64_t>(hi);
-  auto it = pair_cache_.find(pair);
-  if (it == pair_cache_.end()) {
-    const Key key = pairwise_key(lo, hi);
-    it = pair_cache_.emplace(pair, HmacKey(key)).first;
+  auto it = overflow_.find(pair);
+  if (it == overflow_.end()) {
+    it = overflow_.emplace(pair, derive_state(lo, hi)).first;
   }
   return it->second;
 }
@@ -58,6 +87,23 @@ const HmacKey& KeyManager::pairwise_state(NodeId a, NodeId b) const {
 AuthTag KeyManager::sign(NodeId self, NodeId peer,
                          std::string_view message) const {
   return pairwise_state(self, peer).tag(message);
+}
+
+void KeyManager::sign_batch(NodeId self, std::span<const NodeId> peers,
+                            std::string_view message, AuthTag* out) const {
+  batch_.clear();
+  for (NodeId peer : peers) batch_.push(pairwise_state(self, peer));
+  batch_.sign_into(message, out);
+}
+
+bool KeyManager::verify_batch(NodeId self, std::span<const NodeId> peers,
+                              std::string_view message,
+                              const AuthTag* tags) const {
+  batch_.clear();
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    batch_.push(pairwise_state(self, peers[i]), tags[i]);
+  }
+  return batch_.verify_all(message);
 }
 
 bool KeyManager::verify(NodeId a, NodeId b, std::string_view message,
@@ -68,7 +114,8 @@ bool KeyManager::verify(NodeId a, NodeId b, std::string_view message,
 AuthTag forge_tag(std::uint64_t attacker_state) {
   AuthTag tag;
   for (std::size_t i = 0; i < tag.size(); ++i) {
-    attacker_state = attacker_state * 6364136223846793005ull + 1442695040888963407ull;
+    attacker_state =
+        attacker_state * 6364136223846793005ull + 1442695040888963407ull;
     tag[i] = static_cast<std::uint8_t>(attacker_state >> 56);
   }
   return tag;

@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "crypto/hmac.h"
+#include "util/arena.h"
 #include "util/ids.h"
 
 namespace lw::crypto {
@@ -24,12 +27,30 @@ class KeyManager {
   /// KeyManager (same deployment) agree on all pairwise keys.
   explicit KeyManager(std::uint64_t master_secret);
 
+  /// Pre-sizes the dense pair table for node ids < `count` (the deployment
+  /// size, late joiners included). Ids beyond the reservation still work
+  /// through a hash-map fallback; the dense path is an O(1) array index
+  /// with no hashing and no per-pair node allocation. Keys themselves are
+  /// still derived lazily — the reservation is 4 bytes per unordered pair.
+  void reserve_nodes(std::size_t count);
+
   /// Symmetric key shared by the unordered pair {a, b}. pairwise_key(a,b)
   /// == pairwise_key(b,a).
   Key pairwise_key(NodeId a, NodeId b) const;
 
   /// Tags message with the key shared by {self, peer}.
   AuthTag sign(NodeId self, NodeId peer, std::string_view message) const;
+
+  /// Tags one message under the pairwise key of every peer in one
+  /// multi-buffer sweep: out[i] = sign(self, peers[i], message). The
+  /// fan-out shape of alert multicast and neighbor-list broadcast.
+  void sign_batch(NodeId self, std::span<const NodeId> peers,
+                  std::string_view message, AuthTag* out) const;
+
+  /// Verifies tags[i] against sign(self, peers[i], message) in one sweep.
+  /// Returns true iff every tag matches.
+  bool verify_batch(NodeId self, std::span<const NodeId> peers,
+                    std::string_view message, const AuthTag* tags) const;
 
   /// Verifies a tag allegedly produced with the key shared by {a, b}.
   bool verify(NodeId a, NodeId b, std::string_view message,
@@ -38,12 +59,26 @@ class KeyManager {
   /// Prepared HMAC state for the key shared by {a, b}. Derived once per
   /// unordered pair and cached; sign/verify reuse it so every tag costs
   /// two SHA-256 finishes instead of a key derivation plus pad rehashing.
+  /// References stay valid for the KeyManager's lifetime (deque-backed).
   /// Safe without locking: each simulated deployment owns its KeyManager.
   const HmacKey& pairwise_state(NodeId a, NodeId b) const;
 
  private:
+  /// Heap-free K(lo, hi) derivation + pad absorption.
+  HmacKey derive_state(NodeId lo, NodeId hi) const;
+
   HmacKey master_state_;
-  mutable std::unordered_map<std::uint64_t, HmacKey> pair_cache_;
+  /// Dense triangular index for ids < reserved_nodes_: pair (lo, hi) maps
+  /// to slot_index_[hi*(hi+1)/2 + lo], which is -1 or an index into
+  /// states_. states_ is a deque so cached HmacKey references are stable
+  /// across growth (batch verification holds several at once).
+  std::size_t reserved_nodes_ = 0;
+  mutable std::vector<std::int32_t> slot_index_;
+  mutable std::deque<HmacKey, util::PoolAllocator<HmacKey>> states_;
+  /// Fallback for ids outside the reservation (tests, ad-hoc tools).
+  mutable util::PoolUnorderedMap<std::uint64_t, HmacKey> overflow_;
+  /// Scratch for the batch paths (pool-backed, recycled per call).
+  mutable HmacBatch batch_;
 };
 
 /// An external attacker: has no valid keys, so every tag it forges is an

@@ -1,0 +1,42 @@
+// Multi-buffer SHA-256: finish many same-length messages in one sweep.
+//
+// The simulator's crypto cost is dominated by fan-out signing and
+// verification: one payload tagged under N pairwise keys (alert multicast,
+// neighbor-list broadcast) and N accumulated tags checked against one
+// payload. Each HMAC costs two SHA-256 finishes from cached midstates;
+// those finishes are independent per key, which is the textbook shape for
+// lane-parallel ("multi-buffer") hashing — 8 independent message streams
+// occupy the 8 32-bit lanes of one AVX2 register through the 64 rounds.
+//
+// The engine is runtime-dispatched: an AVX2 8-lane kernel when the CPU has
+// it, a portable scalar loop otherwise. Both produce bit-identical digests
+// to the incremental Sha256 class (asserted by randomized equivalence
+// tests under ASan/UBSan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace lw::crypto {
+
+/// Lane width of the selected engine: 8 on AVX2 hardware, 1 for the
+/// scalar fallback. Calls with any `count` work either way; the width only
+/// matters for throughput expectations.
+std::size_t sha256_multi_lanes();
+
+/// True when the AVX2 kernel was selected at runtime.
+bool sha256_multi_simd();
+
+/// Finalizes `count` messages in one call:
+///   out[i] = SHA-256( prefix(starts[i]) || data[i][0 .. len) )
+/// where starts[i] is a block-aligned midstate (Sha256::save) whose
+/// absorbed prefix is starts[i].bytes long. All messages share the same
+/// suffix length `len`, so every lane runs the same block/padding
+/// schedule. data[i] pointers may alias (the same payload hashed under
+/// different midstates — the fan-out signing shape).
+void sha256_many(const Sha256State* starts, const std::uint8_t* const* data,
+                 std::size_t len, std::size_t count, Digest* out);
+
+}  // namespace lw::crypto

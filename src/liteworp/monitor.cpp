@@ -224,7 +224,7 @@ void LocalMonitor::detect_and_alert(NodeId suspect) {
 }
 
 void LocalMonitor::send_alert(NodeId suspect) {
-  const std::vector<NodeId>* recipients = table_.list_of(suspect);
+  const util::PoolVector<NodeId>* recipients = table_.list_of(suspect);
   pkt::Packet alert = env_.packet_factory().make(pkt::PacketType::kAlert);
   alert.origin = env_.id();
   // Each (re)transmission is a fresh flow so relays propagate it again;
@@ -234,12 +234,20 @@ void LocalMonitor::send_alert(NodeId suspect) {
   alert.accusing_guard = env_.id();
   alert.ttl = static_cast<std::uint8_t>(params_.alert_ttl);
   alert.auth_payload_into(auth_buf_);
-  const std::string& payload = auth_buf_;
+  const util::PoolString& payload = auth_buf_;
   if (recipients != nullptr) {
+    sign_peers_.clear();
     for (NodeId recipient : *recipients) {
       if (recipient == env_.id() || recipient == suspect) continue;
-      alert.alert_auth.push_back(
-          {recipient, env_.keys().sign(env_.id(), recipient, payload)});
+      sign_peers_.push_back(recipient);
+    }
+    // One multi-buffer sweep tags the payload for every recipient at once.
+    sign_tags_.resize(sign_peers_.size());
+    env_.keys().sign_batch(env_.id(), sign_peers_, payload,
+                           sign_tags_.data());
+    alert.alert_auth.reserve(sign_peers_.size());
+    for (std::size_t i = 0; i < sign_peers_.size(); ++i) {
+      alert.alert_auth.push_back({sign_peers_[i], sign_tags_[i]});
     }
   }
   seen_alerts_.insert(alert.flow_key());  // do not re-process our own

@@ -34,7 +34,7 @@ bool WatchBuffer::has_any_transmit(const FlowKey& flow, Time now) {
 bool WatchBuffer::has_transmit(const FlowKey& flow, NodeId node, Time now) {
   auto it = transmits_.find(flow);
   if (it == transmits_.end()) return false;
-  std::vector<TransmitRecord>& nodes = it->second.nodes;
+  auto& nodes = it->second.nodes;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (nodes[i].node != node) continue;
     if (nodes[i].expiry <= now) {
@@ -105,7 +105,7 @@ void WatchBuffer::purge_transmits(Time now) {
   // on every lookup), so it trades a few seconds of garbage for sweep cost.
   if (++purge_tick_ % 256 != 0 || transmit_pairs_ < 128) return;
   for (auto it = transmits_.begin(); it != transmits_.end();) {
-    std::vector<TransmitRecord>& nodes = it->second.nodes;
+    auto& nodes = it->second.nodes;
     for (std::size_t i = 0; i < nodes.size();) {
       if (nodes[i].expiry <= now) {
         nodes[i] = nodes.back();

@@ -27,6 +27,7 @@
 #include "phy/medium.h"
 #include "phy/radio.h"
 #include "sim/simulator.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace lw::mac {
@@ -164,7 +165,9 @@ class CsmaMac {
   SendFailedCallback send_failed_;
   /// Bumped by reset(); scheduled lambdas from an earlier epoch no-op.
   int epoch_ = 0;
-  std::deque<Outgoing> queue_;
+  /// Pool-backed: deque chunk churn (a node enqueues/drains continuously
+  /// in the steady state) recycles through the arena freelists.
+  std::deque<Outgoing, util::PoolAllocator<Outgoing>> queue_;
   bool retry_scheduled_ = false;
   /// Control responses (ACK/CTS) inside their SIFS delay.
   int pending_responses_ = 0;
@@ -174,7 +177,7 @@ class CsmaMac {
   std::optional<Exchange> exchange_;
   sim::EventHandle response_timer_;
   /// Last unicast frame uid accepted per claimed sender (ARQ dedupe).
-  std::unordered_map<NodeId, PacketUid> last_accepted_;
+  util::PoolUnorderedMap<NodeId, PacketUid> last_accepted_;
   MacStats stats_;
 };
 

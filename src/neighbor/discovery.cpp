@@ -41,7 +41,7 @@ void DiscoveryAgent::send_hello() {
   env_.send(std::move(hello));
 }
 
-const std::string& DiscoveryAgent::reply_auth_message(NodeId replier,
+const util::PoolString& DiscoveryAgent::reply_auth_message(NodeId replier,
                                                       NodeId announcer,
                                                       SeqNo hello_seq) {
   auth_buf_.clear();
@@ -81,13 +81,17 @@ void DiscoveryAgent::broadcast_list() {
   pkt::Packet list = env_.packet_factory().make(pkt::PacketType::kNeighborList);
   list.origin = env_.id();
   list.seq = 1;
-  list.neighbor_list = table_.neighbors();
+  list.neighbor_list.assign(table_.neighbors().begin(),
+                            table_.neighbors().end());
   list.auth_payload_into(auth_buf_);
-  const std::string& payload = auth_buf_;
+  const util::PoolString& payload = auth_buf_;
+  // One multi-buffer sweep tags the list for every member at once.
+  sign_tags_.resize(list.neighbor_list.size());
+  env_.keys().sign_batch(env_.id(), list.neighbor_list, payload,
+                         sign_tags_.data());
   list.alert_auth.reserve(list.neighbor_list.size());
-  for (NodeId member : list.neighbor_list) {
-    list.alert_auth.push_back(
-        {member, env_.keys().sign(env_.id(), member, payload)});
+  for (std::size_t i = 0; i < list.neighbor_list.size(); ++i) {
+    list.alert_auth.push_back({list.neighbor_list[i], sign_tags_[i]});
   }
   list_sent_ = true;
   if (auto* r = env_.obs(); r && r->wants(obs::Layer::kNeighbor)) {
@@ -127,7 +131,7 @@ void DiscoveryAgent::handle_reply(const pkt::Packet& packet) {
   if (packet.final_dst != env_.id()) return;
   if (!hello_sent_ || env_.now() > hello_time_ + params_.reply_timeout) return;
   if (packet.seq != hello_seq_) return;
-  const std::string& message =
+  const util::PoolString& message =
       reply_auth_message(packet.origin, env_.id(), packet.seq);
   if (!env_.keys().verify(packet.origin, env_.id(), message, packet.tag)) {
     ++rejected_replies_;
@@ -141,7 +145,7 @@ void DiscoveryAgent::handle_reply(const pkt::Packet& packet) {
 void DiscoveryAgent::handle_list(const pkt::Packet& packet) {
   if (packet.origin == env_.id()) return;
   packet.auth_payload_into(auth_buf_);
-  const std::string& payload = auth_buf_;
+  const util::PoolString& payload = auth_buf_;
   for (const pkt::AlertAuth& entry : packet.alert_auth) {
     if (entry.recipient != env_.id()) continue;
     if (env_.keys().verify(packet.origin, env_.id(), payload, entry.tag)) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "crypto/hmac.h"
 #include "neighbor/neighbor_table.h"
 #include "node/node_env.h"
 #include "topology/disc_graph.h"
@@ -78,13 +79,15 @@ class DiscoveryAgent {
   void handle_reply(const pkt::Packet& packet);
   void handle_list(const pkt::Packet& packet);
 
-  const std::string& reply_auth_message(NodeId replier, NodeId announcer,
+  const util::PoolString& reply_auth_message(NodeId replier, NodeId announcer,
                                         SeqNo hello_seq);
 
   node::NodeEnv& env_;
   /// Reusable serialization buffer for auth payloads (sign/verify are
   /// per-packet hot spots; keep the capacity across calls).
-  std::string auth_buf_;
+  util::PoolString auth_buf_;
+  /// Scratch for the batched list-signing fan-out (recycled per broadcast).
+  util::PoolVector<crypto::AuthTag> sign_tags_;
   NeighborTable& table_;
   DiscoveryParams params_;
   bool hello_sent_ = false;

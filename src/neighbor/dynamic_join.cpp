@@ -168,12 +168,17 @@ void DynamicJoinAgent::share_list(NodeId unicast_to) {
   list.origin = env_.id();
   list.seq = 1000 + ++seq_;  // distinct from the deployment-time broadcast
   list.link_dst = unicast_to;
-  list.neighbor_list = table_.neighbors();
+  list.neighbor_list.assign(table_.neighbors().begin(),
+                            table_.neighbors().end());
   list.auth_payload_into(auth_buf_);
-  const std::string& payload = auth_buf_;
-  for (NodeId member : list.neighbor_list) {
-    list.alert_auth.push_back(
-        {member, env_.keys().sign(env_.id(), member, payload)});
+  const util::PoolString& payload = auth_buf_;
+  // One multi-buffer sweep tags the list for every member at once.
+  sign_tags_.resize(list.neighbor_list.size());
+  env_.keys().sign_batch(env_.id(), list.neighbor_list, payload,
+                         sign_tags_.data());
+  list.alert_auth.reserve(list.neighbor_list.size());
+  for (std::size_t i = 0; i < list.neighbor_list.size(); ++i) {
+    list.alert_auth.push_back({list.neighbor_list[i], sign_tags_[i]});
   }
   env_.send(std::move(list));
 }

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "crypto/hmac.h"
 #include "neighbor/neighbor_table.h"
 #include "node/node_env.h"
 
@@ -93,7 +94,9 @@ class DynamicJoinAgent {
   node::NodeEnv& env_;
   NeighborTable& table_;
   /// Reusable serialization buffer for list auth payloads.
-  std::string auth_buf_;
+  util::PoolString auth_buf_;
+  /// Scratch for the batched list-signing fan-out (recycled per share).
+  util::PoolVector<crypto::AuthTag> sign_tags_;
   JoinParams params_;
   bool joining_ = false;
   SeqNo seq_ = 0;

@@ -4,7 +4,7 @@
 
 namespace lw::nbr {
 
-void NeighborTable::set(std::vector<std::uint8_t>& flags, NodeId id) {
+void NeighborTable::set(util::PoolVector<std::uint8_t>& flags, NodeId id) {
   if (id == kInvalidNode) return;  // sentinel, never a table member
   if (id >= flags.size()) flags.resize(id + 1, 0);
   flags[id] = 1;
@@ -16,20 +16,21 @@ void NeighborTable::add_neighbor(NodeId id) {
   order_.push_back(id);
 }
 
-void NeighborTable::set_neighbor_list(NodeId owner, std::vector<NodeId> list) {
+void NeighborTable::set_neighbor_list(NodeId owner,
+                                      std::span<const NodeId> list) {
   if (!knows_neighbor(owner)) return;
   if (owner >= list_flags_.size()) list_flags_.resize(owner + 1);
-  std::vector<std::uint8_t> flags;
+  util::PoolVector<std::uint8_t> flags;
   for (NodeId member : list) set(flags, member);
   list_flags_[owner] = std::move(flags);
-  lists_[owner] = std::move(list);
+  lists_[owner].assign(list.begin(), list.end());
 }
 
 bool NeighborTable::has_list_of(NodeId owner) const {
   return lists_.count(owner) != 0;
 }
 
-const std::vector<NodeId>* NeighborTable::list_of(NodeId owner) const {
+const util::PoolVector<NodeId>* NeighborTable::list_of(NodeId owner) const {
   auto it = lists_.find(owner);
   return it == lists_.end() ? nullptr : &it->second;
 }
@@ -38,7 +39,9 @@ bool NeighborTable::is_within_two_hops(NodeId id) const {
   if (knows_neighbor(id)) return true;
   return std::any_of(
       list_flags_.begin(), list_flags_.end(),
-      [id](const std::vector<std::uint8_t>& flags) { return test(flags, id); });
+      [id](const util::PoolVector<std::uint8_t>& flags) {
+        return test(flags, id);
+      });
 }
 
 void NeighborTable::revoke(NodeId id) {
@@ -64,8 +67,8 @@ void NeighborTable::clear() {
   list_flags_.clear();
 }
 
-std::vector<NodeId> NeighborTable::active_neighbors() const {
-  std::vector<NodeId> active;
+util::PoolVector<NodeId> NeighborTable::active_neighbors() const {
+  util::PoolVector<NodeId> active;
   active.reserve(order_.size());
   for (NodeId id : order_) {
     if (!is_revoked(id)) active.push_back(id);

@@ -13,9 +13,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/ids.h"
 
 namespace lw::nbr {
@@ -36,12 +39,15 @@ class NeighborTable {
   /// Stores the authenticated neighbor list R_owner of a first-hop
   /// neighbor. Silently ignored when `owner` is unknown (a list from a
   /// non-neighbor is rejected upstream anyway).
-  void set_neighbor_list(NodeId owner, std::vector<NodeId> list);
+  void set_neighbor_list(NodeId owner, std::span<const NodeId> list);
+  void set_neighbor_list(NodeId owner, std::initializer_list<NodeId> list) {
+    set_neighbor_list(owner, std::span<const NodeId>(list.begin(), list.size()));
+  }
 
   bool has_list_of(NodeId owner) const;
 
   /// R_owner, or nullptr if not stored.
-  const std::vector<NodeId>* list_of(NodeId owner) const;
+  const util::PoolVector<NodeId>* list_of(NodeId owner) const;
 
   /// True if `candidate` appears in the stored list R_owner — i.e. the
   /// claim "owner received this from candidate" is topologically plausible.
@@ -67,10 +73,11 @@ class NeighborTable {
   void clear();
 
   /// All first-hop neighbors (including revoked); insertion order.
-  const std::vector<NodeId>& neighbors() const { return order_; }
+  const util::PoolVector<NodeId>& neighbors() const { return order_; }
 
-  /// First-hop neighbors in good standing.
-  std::vector<NodeId> active_neighbors() const;
+  /// First-hop neighbors in good standing. Pool-backed: callers on the
+  /// per-frame attack path build and drop this without touching the heap.
+  util::PoolVector<NodeId> active_neighbors() const;
 
   std::size_t neighbor_count() const { return order_.size(); }
   std::size_t revoked_count() const { return revoked_count_; }
@@ -80,20 +87,20 @@ class NeighborTable {
   std::size_t storage_bytes() const;
 
  private:
-  static bool test(const std::vector<std::uint8_t>& flags, NodeId id) {
+  static bool test(const util::PoolVector<std::uint8_t>& flags, NodeId id) {
     return id < flags.size() && flags[id] != 0;
   }
   /// Sets flags[id], growing the vector on demand (ids are dense, so the
   /// vector tops out at the network size).
-  static void set(std::vector<std::uint8_t>& flags, NodeId id);
+  static void set(util::PoolVector<std::uint8_t>& flags, NodeId id);
 
-  std::vector<NodeId> order_;
-  std::vector<std::uint8_t> neighbor_flags_;
-  std::vector<std::uint8_t> revoked_flags_;
+  util::PoolVector<NodeId> order_;
+  util::PoolVector<std::uint8_t> neighbor_flags_;
+  util::PoolVector<std::uint8_t> revoked_flags_;
   std::size_t revoked_count_ = 0;
-  std::unordered_map<NodeId, std::vector<NodeId>> lists_;
+  util::PoolUnorderedMap<NodeId, util::PoolVector<NodeId>> lists_;
   /// list_flags_[owner][candidate] mirrors lists_[owner] for O(1) checks.
-  std::vector<std::vector<std::uint8_t>> list_flags_;
+  util::PoolVector<util::PoolVector<std::uint8_t>> list_flags_;
 };
 
 }  // namespace lw::nbr

@@ -73,8 +73,8 @@ namespace {
 
 /// Decimal append without the ostream machinery (same bytes as
 /// operator<< for these unsigned fields).
-template <typename Int>
-void append_decimal(std::string& out, Int value) {
+template <typename Str, typename Int>
+void append_decimal(Str& out, Int value) {
   char buf[20];
   auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
   (void)ec;
@@ -84,12 +84,12 @@ void append_decimal(std::string& out, Int value) {
 }  // namespace
 
 std::string Packet::auth_payload() const {
-  std::string out;
+  util::PoolString out;
   auth_payload_into(out);
-  return out;
+  return std::string(out.begin(), out.end());
 }
 
-void Packet::auth_payload_into(std::string& out) const {
+void Packet::auth_payload_into(util::PoolString& out) const {
   out.clear();
   append_decimal(out, static_cast<int>(type));
   out.push_back('|');

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "crypto/hmac.h"
+#include "util/arena.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
 
@@ -50,6 +51,12 @@ struct AlertAuth {
   NodeId recipient = kInvalidNode;
   crypto::AuthTag tag{};
 };
+
+/// Packet-borne lists live on the thread pool arena: packets are created,
+/// copied, and destroyed once per hop, so their vectors are the single
+/// biggest steady-state allocation source.
+using NodeList = util::PoolVector<NodeId>;
+using AlertAuthList = util::PoolVector<AlertAuth>;
 
 struct Packet {
   PacketUid uid = 0;
@@ -87,19 +94,19 @@ struct Packet {
 
   /// REQ: route accumulated so far (origin first). REP/DATA: the complete
   /// source route origin..destination.
-  std::vector<NodeId> route;
+  NodeList route;
   /// REP/DATA: index into route of the node currently holding the packet.
   std::size_t route_index = 0;
 
   // ---- Authenticated payloads ----
   /// kNeighborList: the sender's first-hop neighbor list R_A.
-  std::vector<NodeId> neighbor_list;
+  NodeList neighbor_list;
   /// kHelloReply / kNeighborList: pairwise tag (HELLO replies), or the tag
   /// for one recipient; kNeighborList broadcasts carry one tag per listed
   /// neighbor in alert_auth instead.
   crypto::AuthTag tag{};
   /// kAlert and kNeighborList: per-recipient tags.
-  std::vector<AlertAuth> alert_auth;
+  AlertAuthList alert_auth;
 
   // ---- Alert payload ----
   NodeId accused = kInvalidNode;
@@ -159,9 +166,9 @@ struct Packet {
   std::string auth_payload() const;
 
   /// Serializes the auth payload into `out` (cleared first). Agents that
-  /// sign or verify per packet keep one buffer and reuse its capacity
-  /// instead of building a fresh string each time.
-  void auth_payload_into(std::string& out) const;
+  /// sign or verify per packet keep one pool-backed buffer and reuse its
+  /// capacity instead of building a fresh string each time.
+  void auth_payload_into(util::PoolString& out) const;
 
   /// Human-readable one-liner for traces.
   std::string describe() const;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/profiler.h"
+#include "util/arena.h"
 
 namespace lw::phy {
 
@@ -99,7 +100,10 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
     packet.leash_y = at.y;
     packet.leash_located = true;
   }
-  auto shared = std::make_shared<const pkt::Packet>(std::move(packet));
+  // Packet + shared_ptr control block in one pooled arena block: one of
+  // these is built per frame, the hot-path allocation of the whole PHY.
+  auto shared = std::allocate_shared<const pkt::Packet>(
+      util::PoolAllocator<pkt::Packet>{}, std::move(packet));
 
   const Time now = simulator_.now();
   const Duration duration = transmit_duration(*shared);
@@ -129,6 +133,11 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
       graph_.range() * std::max(range_multiplier, max_rx_multiplier_);
   graph_.spatial_index().query(graph_.position(sender), query_radius,
                                rx_candidates_);
+  // The k delivery events of this broadcast become ONE fused fan-out
+  // batch: each fanout_add reserves the same sequence number a plain
+  // schedule_at would have, so reception registration, tie-breaking and
+  // trace bytes are unchanged — only the k-fold heap churn goes away.
+  simulator_.fanout_begin();
   for (NodeId receiver : rx_candidates_) {
     if (receiver == sender) continue;
     // A frame is decodable when the transmitter shouts far enough or the
@@ -168,7 +177,7 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
     // delivery event to keep the global draw order unchanged.
     const bool maybe_loss = params_.extra_loss_prob > 0.0 &&
                             rx_end >= params_.collision_free_until;
-    simulator_.schedule_at(rx_end, [this, rx_radio, shared, maybe_loss] {
+    simulator_.fanout_add(rx_end, [this, rx_radio, shared, maybe_loss] {
       bool random_loss =
           maybe_loss && loss_rng_.chance(params_.extra_loss_prob);
       if (faults_enabled_) {
@@ -188,7 +197,8 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
           // Flip the authentication-tag bytes: the frame still parses
           // (fixed-layout struct), but dies at HMAC verification in
           // whichever layer checks it.
-          auto damaged = std::make_shared<pkt::Packet>(*shared);
+          auto damaged = std::allocate_shared<pkt::Packet>(
+              util::PoolAllocator<pkt::Packet>{}, *shared);
           for (auto& byte : damaged->tag) byte ^= 0xFF;
           for (auto& auth : damaged->alert_auth) {
             for (auto& byte : auth.tag) byte ^= 0xFF;
@@ -233,6 +243,7 @@ void Medium::transmit(NodeId sender, pkt::Packet packet,
       }
     });
   }
+  simulator_.fanout_commit();
 }
 
 }  // namespace lw::phy

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "packet/packet.h"
+#include "util/arena.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
 
@@ -128,7 +129,7 @@ class Radio {
   TxDoneSink tx_done_sink_;
   Time tx_busy_until_ = kTimeZero;
   Time nav_until_ = kTimeZero;
-  std::vector<Reception> ongoing_;
+  util::PoolVector<Reception> ongoing_;
 };
 
 }  // namespace lw::phy

@@ -5,7 +5,7 @@
 
 namespace lw::routing {
 
-bool RouteCache::insert(std::vector<NodeId> path, Time now) {
+bool RouteCache::insert(pkt::NodeList path, Time now) {
   if (path.size() < 2) throw std::invalid_argument("route needs >= 2 nodes");
   const NodeId dst = path.back();
   auto it = routes_.find(dst);

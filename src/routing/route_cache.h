@@ -13,14 +13,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "packet/packet.h"
+#include "util/arena.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
 
 namespace lw::routing {
 
 struct Route {
-  /// Full node sequence, source first, destination last.
-  std::vector<NodeId> path;
+  /// Full node sequence, source first, destination last. Pool-backed like
+  /// the packet route vectors it is copied from/into.
+  pkt::NodeList path;
   Time established = kTimeZero;
   Time expires = kTimeZero;
 
@@ -36,7 +39,7 @@ class RouteCache {
   /// only by a strictly shorter path (the source keeps the best route);
   /// an expired entry is always replaced.
   /// Returns true if the cache changed.
-  bool insert(std::vector<NodeId> path, Time now);
+  bool insert(pkt::NodeList path, Time now);
 
   /// Live route to `dst`, or nullptr. Expired entries are erased lazily;
   /// a successful lookup refreshes the idle timeout.
@@ -60,7 +63,7 @@ class RouteCache {
 
  private:
   Duration route_timeout_;
-  std::unordered_map<NodeId, Route> routes_;
+  util::PoolUnorderedMap<NodeId, Route> routes_;
 };
 
 }  // namespace lw::routing

@@ -9,7 +9,7 @@ namespace lw::routing {
 namespace {
 
 /// Position of `id` in `path`, or npos.
-std::size_t index_in(const std::vector<NodeId>& path, NodeId id) {
+std::size_t index_in(const pkt::NodeList& path, NodeId id) {
   auto it = std::find(path.begin(), path.end(), id);
   return it == path.end() ? static_cast<std::size_t>(-1)
                           : static_cast<std::size_t>(it - path.begin());

@@ -17,6 +17,7 @@
 #include "neighbor/neighbor_table.h"
 #include "node/node_env.h"
 #include "routing/route_cache.h"
+#include "util/arena.h"
 
 namespace lw::routing {
 
@@ -64,7 +65,7 @@ class RoutingObserver {
   virtual void on_data_delivered(NodeId /*destination*/, const pkt::Packet&) {}
   virtual void on_data_dropped_no_route(NodeId /*source*/) {}
   virtual void on_route_established(NodeId /*source*/,
-                                    const std::vector<NodeId>& /*path*/) {}
+                                    const pkt::NodeList& /*path*/) {}
   virtual void on_discovery_started(NodeId /*source*/, NodeId /*target*/) {}
 };
 
@@ -108,7 +109,7 @@ class OnDemandRouting {
     Time created_at;
   };
   struct Discovery {
-    std::deque<PendingData> queue;
+    std::deque<PendingData, util::PoolAllocator<PendingData>> queue;
     Time last_request = -1e9;
     int attempts = 0;
   };
@@ -153,12 +154,14 @@ class OnDemandRouting {
   };
 
   SeqNo next_seq_ = 0;
-  std::unordered_map<FlowKey, Time> seen_requests_;
-  std::unordered_map<FlowKey, PendingForward> pending_forwards_;
+  /// Flood bookkeeping churns an entry per REQ copy; pool-backed so the
+  /// insert/erase cycle recycles nodes instead of hitting the heap.
+  util::PoolUnorderedMap<FlowKey, Time> seen_requests_;
+  util::PoolUnorderedMap<FlowKey, PendingForward> pending_forwards_;
   /// Destination-side reply policy: shortest hop count already answered
   /// per REQ flow (answer again only for strictly shorter copies).
-  std::unordered_map<FlowKey, std::size_t> replied_requests_;
-  std::unordered_map<NodeId, Discovery> discoveries_;
+  util::PoolUnorderedMap<FlowKey, std::size_t> replied_requests_;
+  util::PoolUnorderedMap<NodeId, Discovery> discoveries_;
   std::uint64_t refused_next_hop_revoked_ = 0;
 };
 

@@ -1,8 +1,11 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "util/arena.h"
 
 namespace lw::sim {
 
@@ -23,9 +26,104 @@ void Simulator::push(Time when, SmallFn action,
   Slot& s = slots_[slot];
   s.action = std::move(action);
   s.cancelled = std::move(cancelled);
-  queue_.push(QueueEntry{when, next_seq_++, slot});
-  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
-  if (queue_.size() > window_max_pending_) window_max_pending_ = queue_.size();
+  queue_.push(QueueEntry{when, next_seq_++, slot, kNoBatch});
+  if (pending() > max_pending_) max_pending_ = pending();
+  if (pending() > window_max_pending_) window_max_pending_ = pending();
+}
+
+std::uint32_t Simulator::acquire_batch() {
+  if (batch_free_head_ != kFreeListEnd) {
+    const std::uint32_t batch = batch_free_head_;
+    batch_free_head_ = batches_[batch].next_free;
+    return batch;
+  }
+  const std::uint32_t batch = static_cast<std::uint32_t>(batches_.size());
+  batches_.emplace_back();
+  return batch;
+}
+
+void Simulator::release_batch(std::uint32_t batch) {
+  batches_[batch].items.clear();  // keeps capacity for the next broadcast
+  batches_[batch].next_free = batch_free_head_;
+  batch_free_head_ = batch;
+}
+
+void Simulator::fanout_begin() {
+  assert(building_batch_ == kNoBatch && "fanout_begin without commit");
+  building_batch_ = acquire_batch();
+}
+
+void Simulator::fanout_add(Time when, SmallFn action) {
+  assert(building_batch_ != kNoBatch && "fanout_add outside a fan-out");
+  if (when < now_) throw std::invalid_argument("fanout_add in the past");
+  batches_[building_batch_].items.push_back(
+      FanoutItem{when, next_seq_++, std::move(action)});
+}
+
+void Simulator::fanout_commit() {
+  assert(building_batch_ != kNoBatch && "fanout_commit without begin");
+  const std::uint32_t batch = building_batch_;
+  building_batch_ = kNoBatch;
+  auto& items = batches_[batch].items;
+  if (items.empty()) {
+    release_batch(batch);
+    return;
+  }
+  // Items were added in receiver order but execute in event order; the
+  // sort restores exactly the order k separate heap pushes would pop in.
+  std::sort(items.begin(), items.end(),
+            [](const FanoutItem& a, const FanoutItem& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.seq < b.seq;
+            });
+  queue_.push(QueueEntry{items[0].when, items[0].seq, 0, batch});
+  fanout_deferred_ += items.size() - 1;
+  if (pending() > max_pending_) max_pending_ = pending();
+  if (pending() > window_max_pending_) window_max_pending_ = pending();
+}
+
+std::uint64_t Simulator::run_batch(const QueueEntry& entry, Time horizon,
+                                   bool has_horizon) {
+  std::size_t idx = entry.slot;
+  std::uint64_t count = 0;
+  for (;;) {
+    // Re-index on every lap: the action may commit a new fan-out, and
+    // growing batches_ can relocate this batch.
+    FanoutItem& item = batches_[entry.batch].items[idx];
+    assert(item.when >= now_ && "fan-out batch went backwards");
+    now_ = item.when;
+    SmallFn action = std::move(item.action);
+    current_seq_ = item.seq;
+    action();
+    current_seq_ = kNoEvent;
+    ++count;
+    ++executed_;
+    check_wall_deadline();
+    ++idx;
+    if (idx == batches_[entry.batch].items.size()) {
+      release_batch(entry.batch);
+      break;
+    }
+    // The next item is no longer covered by the popped entry: it either
+    // chains in place (still earliest) or goes back on the heap.
+    const FanoutItem& next = batches_[entry.batch].items[idx];
+    --fanout_deferred_;
+    const bool yield =
+        (has_horizon && next.when > horizon) ||
+        (!queue_.empty() &&
+         QueueEntry{next.when, next.seq, 0, kNoBatch} > queue_.top());
+    if (yield) {
+      queue_.push(QueueEntry{next.when, next.seq,
+                             static_cast<std::uint32_t>(idx), entry.batch});
+      break;
+    }
+    // Chaining executes the item the run loop would pop next anyway; close
+    // any tick boundaries it crosses, exactly as the loop would have.
+    if (tick_interval_ > 0.0 && next.when >= next_tick_) {
+      fire_ticks(next.when);
+    }
+  }
+  return count;
 }
 
 void Simulator::set_tick_hook(Duration interval, TickHook hook) {
@@ -63,7 +161,10 @@ void Simulator::schedule_at(Time when, SmallFn action) {
 EventHandle Simulator::schedule_cancellable(Duration delay,
                                             SmallFn action) {
   if (delay < 0) throw std::invalid_argument("negative schedule delay");
-  auto flag = std::make_shared<bool>(false);
+  // Flag + control block in one pooled block: cancellable timers (MAC
+  // response timers, drop-watch expiries) recur every few events.
+  auto flag =
+      std::allocate_shared<bool>(util::PoolAllocator<bool>{}, false);
   push(now_ + delay, std::move(action), flag);
   return EventHandle(std::move(flag));
 }
@@ -99,6 +200,10 @@ std::uint64_t Simulator::run_until(Time horizon) {
     }
     queue_.pop();
     assert(entry.when >= now_ && "event queue went backwards");
+    if (entry.batch != kNoBatch) {
+      count += run_batch(entry, horizon, /*has_horizon=*/true);
+      continue;
+    }
     now_ = entry.when;
     // Move the payload out and recycle the slot BEFORE executing: the
     // action may schedule (and thus reallocate the slab).
@@ -128,6 +233,10 @@ std::uint64_t Simulator::run_all() {
       fire_ticks(entry.when);
     }
     queue_.pop();
+    if (entry.batch != kNoBatch) {
+      count += run_batch(entry, kTimeZero, /*has_horizon=*/false);
+      continue;
+    }
     now_ = entry.when;
     Slot& slot = slots_[entry.slot];
     SmallFn action = std::move(slot.action);

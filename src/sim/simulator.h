@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/small_fn.h"
+#include "util/arena.h"
 #include "util/sim_time.h"
 
 namespace lw::sim {
@@ -77,6 +78,24 @@ class Simulator {
   /// schedule() wherever cancellation is not needed.
   EventHandle schedule_cancellable(Duration delay, SmallFn action);
 
+  /// Fused fan-out: collects the k events of one broadcast (the PHY
+  /// delivery fan-out) into a single pooled batch represented by ONE heap
+  /// entry instead of k. Between fanout_begin() and fanout_commit(), each
+  /// fanout_add(when, action) reserves the exact sequence number a plain
+  /// schedule_at() would have assigned (so next_seq() keeps working for
+  /// eager reception registration), but defers the heap push. commit()
+  /// sorts the batch by (when, seq) and enqueues one entry for its head;
+  /// the run loop then executes queued-up batch items in place while they
+  /// still precede the heap top, re-enqueueing one entry only when a
+  /// foreign event (or the horizon) interleaves. Execution order, tick
+  /// boundaries, executed() and pending() are all identical to k separate
+  /// schedule_at() calls — only the heap traffic shrinks from k pushes +
+  /// k pops to one push per interleaving. Batch events are not
+  /// cancellable. Nested begins are not allowed (commit first).
+  void fanout_begin();
+  void fanout_add(Time when, SmallFn action);
+  void fanout_commit();
+
   /// Runs events until the queue is empty or the horizon is passed.
   /// Events with timestamp > horizon remain queued (the clock stops at the
   /// horizon). Returns the number of events executed.
@@ -106,8 +125,9 @@ class Simulator {
   /// cost is then one predictable branch per event.
   void set_tick_hook(Duration interval, TickHook hook);
 
-  /// Number of events currently queued (including cancelled ones).
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of events currently queued (including cancelled ones and
+  /// fan-out batch items not individually represented on the heap).
+  std::size_t pending() const { return queue_.size() + fanout_deferred_; }
 
   /// High-water mark of pending(): the queue-depth figure the run
   /// profiler reports.
@@ -143,11 +163,14 @@ class Simulator {
   /// Heap entries are 24-byte PODs; the action (and optional cancel flag)
   /// live in a slab indexed by `slot`, so sift-up/down moves never touch
   /// the callable. At ~5M events per large run the heap churn is pure
-  /// memcpy of small keys instead of per-move indirect calls.
+  /// memcpy of small keys instead of per-move indirect calls. When `batch`
+  /// is not kNoBatch the entry stands for a fan-out batch starting at item
+  /// index `slot` (the batch's remaining items ride along off-heap).
   struct QueueEntry {
     Time when;
     std::uint64_t seq;
     std::uint32_t slot;
+    std::uint32_t batch;
 
     // Min-heap: earliest time first, then earliest insertion.
     bool operator>(const QueueEntry& other) const {
@@ -157,6 +180,23 @@ class Simulator {
   };
 
   static constexpr std::uint32_t kFreeListEnd = ~std::uint32_t{0};
+  static constexpr std::uint32_t kNoBatch = ~std::uint32_t{0};
+
+  /// One deferred event of a fused fan-out: carries the sequence number it
+  /// reserved at fanout_add() time so interleaving is unchanged.
+  struct FanoutItem {
+    Time when;
+    std::uint64_t seq;
+    SmallFn action;
+  };
+
+  /// A committed fan-out. Recycled through a freelist (pool-backed item
+  /// vectors keep their capacity), so steady-state broadcasts allocate
+  /// nothing.
+  struct FanoutBatch {
+    util::PoolVector<FanoutItem> items;
+    std::uint32_t next_free = kFreeListEnd;
+  };
 
   struct Slot {
     SmallFn action;
@@ -166,6 +206,15 @@ class Simulator {
 
   void push(Time when, SmallFn action, std::shared_ptr<bool> cancelled);
   std::uint32_t acquire_slot();
+  std::uint32_t acquire_batch();
+  void release_batch(std::uint32_t batch);
+  /// Executes the popped batch entry's item, then chains through the
+  /// batch's remaining items while they precede the heap top and the
+  /// horizon (has_horizon gates the check for run_all). Returns the number
+  /// of actions run; bumps executed_ itself, one per item, exactly as k
+  /// separate heap events would have.
+  std::uint64_t run_batch(const QueueEntry& entry, Time horizon,
+                          bool has_horizon);
   /// Amortized deadline probe: real check every kWallCheckStride events.
   void check_wall_deadline();
   /// Fires the tick hook for every boundary <= `upto`, in order.
@@ -177,6 +226,13 @@ class Simulator {
       queue_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kFreeListEnd;
+  std::vector<FanoutBatch> batches_;
+  std::uint32_t batch_free_head_ = kFreeListEnd;
+  /// Batch being filled between fanout_begin() and fanout_commit().
+  std::uint32_t building_batch_ = kNoBatch;
+  /// Committed fan-out items not individually on the heap (each live
+  /// batch contributes size - 1: its head rides a real queue entry).
+  std::size_t fanout_deferred_ = 0;
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t current_seq_ = kNoEvent;

@@ -38,7 +38,8 @@ double MetricsCollector::mean_delivery_latency() const {
 
 double MetricsCollector::latency_percentile(double p) const {
   if (delivery_latencies.empty()) return 0.0;
-  std::vector<Duration> sorted = delivery_latencies;
+  std::vector<Duration> sorted(delivery_latencies.begin(),
+                               delivery_latencies.end());
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto index = static_cast<std::size_t>(rank);
@@ -52,7 +53,7 @@ void MetricsCollector::on_data_dropped_no_route(NodeId) {
 }
 
 void MetricsCollector::on_route_established(NodeId,
-                                            const std::vector<NodeId>& path) {
+                                            const pkt::NodeList& path) {
   ++routes_established;
   route_times.push_back(simulator_.now());
 

@@ -18,6 +18,7 @@
 
 #include "attack/malicious_agent.h"
 #include "liteworp/monitor.h"
+#include "util/arena.h"
 #include "routing/routing.h"
 #include "topology/disc_graph.h"
 
@@ -50,7 +51,7 @@ class MetricsCollector : public routing::RoutingObserver,
                          const pkt::Packet& packet) override;
   void on_data_dropped_no_route(NodeId source) override;
   void on_route_established(NodeId source,
-                            const std::vector<NodeId>& path) override;
+                            const pkt::NodeList& path) override;
   void on_discovery_started(NodeId source, NodeId target) override;
 
   // MonitorObserver
@@ -99,11 +100,14 @@ class MetricsCollector : public routing::RoutingObserver,
   std::uint64_t false_isolations = 0;
 
   // ---- Event times (for time-series post-processing) ----
-  std::vector<Time> drop_times;
-  std::vector<Time> wormhole_route_times;
-  std::vector<Time> route_times;
+  // Pool-backed: these grow one entry per delivered/dropped packet for
+  // the whole run, and are the last per-event heap touch of the stats
+  // layer (reports copy them out at the end).
+  util::PoolVector<Time> drop_times;
+  util::PoolVector<Time> wormhole_route_times;
+  util::PoolVector<Time> route_times;
   /// End-to-end delivery latency of each delivered data packet.
-  std::vector<Duration> delivery_latencies;
+  util::PoolVector<Duration> delivery_latencies;
 
   /// Mean end-to-end data latency (0 if nothing delivered).
   double mean_delivery_latency() const;

@@ -1,0 +1,140 @@
+#include "util/alloc_count.h"
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace lw::util {
+
+#if defined(LW_ALLOC_COUNT_DISABLED)
+
+bool alloc_counting_active() { return false; }
+AllocCounts alloc_counts() { return {}; }
+void alloc_trace_arm(int) {}
+
+#else
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<int> g_trace_remaining{0};
+}  // namespace
+
+void alloc_trace_arm(int count) {
+  g_trace_remaining.store(count, std::memory_order_relaxed);
+}
+
+bool alloc_counting_active() { return true; }
+
+AllocCounts alloc_counts() {
+  return {g_news.load(std::memory_order_relaxed),
+          g_deletes.load(std::memory_order_relaxed)};
+}
+
+namespace detail {
+
+void* counted_alloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (g_trace_remaining.load(std::memory_order_relaxed) > 0 &&
+      g_trace_remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+    void* frames[32];
+    int n = backtrace(frames, 32);
+    std::fprintf(stderr, "--- alloc %zu bytes ---\n", size);
+    backtrace_symbols_fd(frames, n, 2);
+  }
+  if (size == 0) size = 1;
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* ptr = std::aligned_alloc(align, rounded);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void counted_free(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+}  // namespace detail
+
+#endif  // LW_ALLOC_COUNT_DISABLED
+
+}  // namespace lw::util
+
+#if !defined(LW_ALLOC_COUNT_DISABLED)
+
+// Global replacement operator new/delete (all required forms). These are
+// the strong definitions the whole binary uses once this TU is linked in —
+// which happens exactly when something references alloc_counts().
+
+void* operator new(std::size_t size) {
+  return lw::util::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return lw::util::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return lw::util::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return lw::util::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return lw::util::detail::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return lw::util::detail::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { lw::util::detail::counted_free(ptr); }
+void operator delete[](void* ptr) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  lw::util::detail::counted_free(ptr);
+}
+
+#endif  // !LW_ALLOC_COUNT_DISABLED

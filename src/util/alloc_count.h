@@ -1,0 +1,33 @@
+// Opt-in global allocation counters (the LW_COUNT_ALLOCS test hook).
+//
+// When active, every ::operator new / delete in the process bumps a relaxed
+// atomic counter. The zero-steady-state-allocation tier-1 test snapshots the
+// counters around a post-warm-up simulation window and asserts the delta is
+// zero — proving the arena/pool conversions, not eyeballing them.
+//
+// The replacement allocator is compiled out under the sanitizer builds
+// (ASan/TSan own the allocator there); alloc_counting_active() then reports
+// false and the test skips.
+#pragma once
+
+#include <cstdint>
+
+namespace lw::util {
+
+struct AllocCounts {
+  std::uint64_t news = 0;
+  std::uint64_t deletes = 0;
+};
+
+/// True when the counting operator new/delete replacement is linked into
+/// this binary and not disabled for the build.
+bool alloc_counting_active();
+
+/// Snapshot of the process-wide counters (zeros when inactive).
+AllocCounts alloc_counts();
+
+/// Debug aid: dumps a backtrace to stderr for the next `count` allocations.
+/// No-op when counting is inactive.
+void alloc_trace_arm(int count);
+
+}  // namespace lw::util

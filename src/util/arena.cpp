@@ -1,0 +1,120 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+namespace lw::util {
+namespace {
+
+/// Smallest power of two >= bytes, as a shift. bytes > 0.
+std::size_t ceil_shift(std::size_t bytes) {
+  std::size_t shift = 0;
+  std::size_t size = 1;
+  while (size < bytes) {
+    size <<= 1;
+    ++shift;
+  }
+  return shift;
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  Chunk* chunk = chunks_;
+  while (chunk != nullptr) {
+    Chunk* next = chunk->next;
+    std::free(static_cast<void*>(chunk));
+    chunk = next;
+  }
+}
+
+std::size_t Arena::class_index(std::size_t bytes) {
+  const std::size_t shift = ceil_shift(bytes);
+  return shift <= kMinShift ? 0 : shift - kMinShift;
+}
+
+void* Arena::carve(std::size_t cls) {
+  const std::size_t block = std::size_t{1} << (cls + kMinShift);
+  if (static_cast<std::size_t>(bump_end_ - bump_) < block) {
+    // The leftover tail (if any) is smaller than this block; park it on
+    // the freelist of the largest class it still fits so it is not lost.
+    while (bump_end_ - bump_ >= static_cast<std::ptrdiff_t>(1) << kMinShift) {
+      std::size_t tail_shift = kMinShift;
+      while (static_cast<std::size_t>(bump_end_ - bump_) >=
+             (std::size_t{2} << tail_shift)) {
+        ++tail_shift;
+      }
+      if (tail_shift > kMaxShift) tail_shift = kMaxShift;
+      auto* tail = reinterpret_cast<FreeBlock*>(bump_);
+      tail->next = free_[tail_shift - kMinShift];
+      free_[tail_shift - kMinShift] = tail;
+      bump_ += std::size_t{1} << tail_shift;
+    }
+    const std::size_t want = block + sizeof(Chunk);
+    std::size_t chunk_bytes = next_chunk_bytes_;
+    while (chunk_bytes < want) chunk_bytes <<= 1;
+    if (next_chunk_bytes_ < (std::size_t{1} << 22)) next_chunk_bytes_ <<= 1;
+    // Chunks come from malloc, not ::operator new: the LW_COUNT_ALLOCS
+    // replacement counts C++ allocations, and amortized pool growth is
+    // infrastructure, not per-event churn. malloc also keeps the arena
+    // reentrancy-free with respect to the replaced global new.
+    auto* raw = static_cast<unsigned char*>(std::malloc(chunk_bytes));
+    if (raw == nullptr) throw std::bad_alloc();
+    auto* chunk = reinterpret_cast<Chunk*>(raw);
+    chunk->next = chunks_;
+    chunks_ = chunk;
+    // Chunk header is 8 bytes; start the bump pointer at the next 16-byte
+    // boundary so every carved block is max_align-aligned.
+    bump_ = raw + (std::size_t{1} << kMinShift);
+    bump_end_ = raw + chunk_bytes;
+    stats_.chunk_bytes += chunk_bytes;
+    ++stats_.chunks;
+  }
+  void* out = bump_;
+  bump_ += block;
+  return out;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooled || align > alignof(std::max_align_t)) {
+    ++stats_.direct_allocs;
+    if (align > alignof(std::max_align_t)) {
+      return ::operator new(bytes, std::align_val_t{align});
+    }
+    return ::operator new(bytes);
+  }
+  ++stats_.pool_allocs;
+  const std::size_t cls = class_index(bytes);
+  if (FreeBlock* head = free_[cls]) {
+    free_[cls] = head->next;
+    return head;
+  }
+  return carve(cls);
+}
+
+void Arena::deallocate(void* ptr, std::size_t bytes,
+                       std::size_t align) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooled || align > alignof(std::max_align_t)) {
+    if (align > alignof(std::max_align_t)) {
+      ::operator delete(ptr, std::align_val_t{align});
+    } else {
+      ::operator delete(ptr);
+    }
+    return;
+  }
+  const std::size_t cls = class_index(bytes);
+  auto* block = static_cast<FreeBlock*>(ptr);
+  block->next = free_[cls];
+  free_[cls] = block;
+}
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace lw::util

@@ -40,7 +40,7 @@ TEST_P(DiscoveryCompleteness, TablesMatchOracle) {
           << "node " << id << " missing R_" << nb;
       // Stored lists must equal the neighbor's true adjacency.
       if (const auto* list = table.list_of(nb)) {
-        std::vector<NodeId> sorted = *list;
+        std::vector<NodeId> sorted(list->begin(), list->end());
         std::sort(sorted.begin(), sorted.end());
         std::vector<NodeId> expected = net.graph().neighbors(nb);
         std::sort(expected.begin(), expected.end());

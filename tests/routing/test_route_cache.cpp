@@ -11,7 +11,7 @@ TEST(RouteCache, InsertAndLookup) {
   EXPECT_TRUE(cache.insert({0, 1, 2}, 10.0));
   const Route* route = cache.lookup(2, 11.0);
   ASSERT_NE(route, nullptr);
-  EXPECT_EQ(route->path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(route->path, (pkt::NodeList{0, 1, 2}));
   EXPECT_EQ(route->hop_count(), 2u);
 }
 

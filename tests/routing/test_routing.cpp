@@ -143,7 +143,7 @@ TEST(Routing, RouteErrorTearsDownStaleRoute) {
   const Route* route = net.node(0).routing().cache().lookup(29, 30.0);
   ASSERT_NE(route, nullptr);
   ASSERT_GE(route->path.size(), 4u) << "need >= 3 hops for a mid-route break";
-  const std::vector<NodeId> path = route->path;
+  const std::vector<NodeId> path(route->path.begin(), route->path.end());
   // Pick a broken hop that (a) is not adjacent to the source — so the
   // source stays unaware and must learn via RERR — and (b) whose removal
   // keeps the pair connected.

@@ -18,7 +18,7 @@ class RoutingUnitTest : public ::testing::Test {
     table_.set_neighbor_list(2, {5, 8});
   }
 
-  pkt::Packet req_copy(std::vector<NodeId> route, NodeId claimed,
+  pkt::Packet req_copy(pkt::NodeList route, NodeId claimed,
                        NodeId origin, SeqNo seq, NodeId dst) {
     pkt::Packet p = env_.packet_factory().make(pkt::PacketType::kRouteRequest);
     p.origin = origin;
@@ -40,7 +40,7 @@ TEST_F(RoutingUnitTest, DestinationAnswersFirstCopy) {
   routing_.handle(req_copy({9, 1}, 1, 9, 1, /*dst=*/5));
   auto reps = env_.sent_of(pkt::PacketType::kRouteReply);
   ASSERT_EQ(reps.size(), 1u);
-  EXPECT_EQ(reps[0].route, (std::vector<NodeId>{9, 1, 5}));
+  EXPECT_EQ(reps[0].route, (pkt::NodeList{9, 1, 5}));
   EXPECT_EQ(reps[0].link_dst, 1u);
 }
 

@@ -191,5 +191,118 @@ TEST(Simulator, ManyEventsStressOrdering) {
   EXPECT_EQ(sim.executed(), 10000u);
 }
 
+TEST(SimulatorFanout, InterleavesExactlyLikeSeparateSchedules) {
+  // Mirror runs: one schedules every event individually, one fuses a
+  // subset into fan-out batches. Execution order, clock values, executed()
+  // and pending() must be indistinguishable.
+  auto drive = [](Simulator& sim, bool fused, std::vector<int>& order) {
+    // Foreign events straddling the batch's time range.
+    sim.schedule(1.0, [&] { order.push_back(100); });
+    sim.schedule(2.5, [&] { order.push_back(250); });
+    sim.schedule(4.0, [&] { order.push_back(400); });
+    // The broadcast: out-of-order times, including a tie at 2.5 that must
+    // lose to the earlier-scheduled foreign event.
+    if (fused) sim.fanout_begin();
+    auto add = [&](Time when, int tag) {
+      if (fused) {
+        sim.fanout_add(when, [&order, tag] { order.push_back(tag); });
+      } else {
+        sim.schedule_at(when, [&order, tag] { order.push_back(tag); });
+      }
+    };
+    add(3.0, 300);
+    add(0.5, 50);
+    add(2.5, 251);
+    add(5.0, 500);
+    if (fused) sim.fanout_commit();
+    EXPECT_EQ(sim.pending(), 7u);
+  };
+
+  std::vector<int> plain_order;
+  std::vector<int> fused_order;
+  Simulator plain;
+  Simulator fused;
+  drive(plain, false, plain_order);
+  drive(fused, true, fused_order);
+  EXPECT_EQ(plain.run_until(2.75), fused.run_until(2.75));
+  EXPECT_EQ(plain.pending(), fused.pending());
+  EXPECT_EQ(plain.run_all(), fused.run_all());
+  EXPECT_EQ(plain_order, fused_order);
+  EXPECT_EQ(fused_order,
+            (std::vector<int>{50, 100, 250, 251, 300, 400, 500}));
+  EXPECT_EQ(plain.executed(), fused.executed());
+  EXPECT_EQ(fused.pending(), 0u);
+}
+
+TEST(SimulatorFanout, ItemsCanScheduleAndNestFanouts) {
+  // A chained batch item starts a new broadcast (the relay pattern):
+  // the inner fan-out must land in order even while the outer chain is
+  // mid-flight, and events scheduled by items preempt later items.
+  Simulator sim;
+  std::vector<int> order;
+  sim.fanout_begin();
+  sim.fanout_add(1.0, [&] {
+    order.push_back(1);
+    sim.schedule(0.5, [&] { order.push_back(2); });  // before item at 2.0
+    sim.fanout_begin();
+    sim.fanout_add(2.5, [&] { order.push_back(4); });
+    sim.fanout_add(1.25, [&] { order.push_back(15); });
+    sim.fanout_commit();
+  });
+  sim.fanout_add(2.0, [&] { order.push_back(3); });
+  sim.fanout_commit();
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 15, 2, 3, 4}));
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(SimulatorFanout, EmptyAndSingleItemBatchesAreHarmless) {
+  Simulator sim;
+  int runs = 0;
+  sim.fanout_begin();
+  sim.fanout_commit();  // no receivers in range
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.fanout_begin();
+  sim.fanout_add(1.0, [&] { ++runs; });
+  sim.fanout_commit();
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorFanout, HorizonSplitsABatch) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.fanout_begin();
+  for (int i = 1; i <= 5; ++i) {
+    sim.fanout_add(static_cast<Time>(i), [&order, i] { order.push_back(i); });
+  }
+  sim.fanout_commit();
+  EXPECT_EQ(sim.run_until(3.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SimulatorFanout, BatchesRecycleWithoutGrowth) {
+  // Steady-state broadcasts reuse the batch slab: interleaved begin/commit
+  // cycles (one live at a time, as in the PHY) never grow past the high
+  // water of concurrently live batches.
+  Simulator sim;
+  int runs = 0;
+  for (int round = 0; round < 100; ++round) {
+    sim.fanout_begin();
+    for (int i = 0; i < 8; ++i) {
+      sim.fanout_add(sim.now() + 0.1 * (i + 1), [&] { ++runs; });
+    }
+    sim.fanout_commit();
+    sim.run_all();
+  }
+  EXPECT_EQ(runs, 800);
+}
+
 }  // namespace
 }  // namespace lw::sim
