@@ -24,6 +24,12 @@
 //                a "series" object to every replica in the sweep JSON;
 //                byte-identical per seed at any --threads value. Wall-clock
 //                self-time per bucket appears only with --profile.
+//   --spans      fold events into protocol-transaction spans (route
+//                sessions, alibi windows, alert rounds, tunnel sessions,
+//                join handshakes): adds a "spans" object to every replica
+//                in the sweep JSON and, when combined with --trace /
+//                --trace-out, span.begin/span.end lines to the trace.
+//                Byte-identical per seed at any --threads value.
 //   --watch      live progress view on stderr while each run executes
 //                (sim-time, event rate, queue depth, ETA). Display only —
 //                never changes results. Most useful with --threads=1;
@@ -87,6 +93,8 @@ struct Common {
   /// Telemetry series sampling (--series[=bucket_seconds]).
   bool series = false;
   double series_bucket = 1.0;
+  /// Protocol-transaction span folding (--spans).
+  bool spans = false;
   /// Live stderr progress view per run (--watch).
   bool watch = false;
   bool quiet = false;
@@ -130,6 +138,7 @@ inline Common parse_common(const lw::Config& args, int default_runs,
       }
     }
   }
+  common.spans = args.get_bool("spans", false);
   common.watch = args.get_bool("watch", false);
   common.quiet = args.get_bool("quiet", false);
   common.run_timeout = args.get_double("run-timeout", 0.0);
@@ -197,6 +206,7 @@ inline void apply(const Common& common, lw::scenario::SweepSpec& spec) {
   spec.base.obs.counters = common.profile || tracing;
   spec.base.obs.series = common.series;
   spec.base.obs.series_bucket = common.series_bucket;
+  spec.base.obs.spans = common.spans || spec.base.obs.spans;
   spec.base.obs.watch = common.watch;
   spec.base.obs.forensics = tracing || spec.base.obs.forensics;
   spec.run_timeout_seconds = common.run_timeout;

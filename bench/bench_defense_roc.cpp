@@ -21,9 +21,20 @@
 // Standard flags (bench_common.h) apply. --check validates the zoo-wide
 // invariants (CI perf-smoke): every replica completes, rates stay in
 // [0, 1], the undefended baseline never isolates anyone, calibrated
-// LITEWORP reaches perfect precision and recall, and the Z-score detector
+// LITEWORP reaches perfect precision and recall, the Z-score detector
 // convicts tunnel endpoints without framing honest nodes at its default
-// threshold. Output is bit-identical at any --threads.
+// threshold, and the span-derived detection-latency decomposition
+// telescopes against the forensic incident latencies. Output is
+// bit-identical at any --threads.
+//
+// Detection latency decomposition: spans are always on for this bench
+// (spec.base.obs.spans), so every cell also reports the alert-round phase
+// split pooled over its replicas' raw samples —
+//   observe      first suspicion - accused's first malicious act
+//   corroborate  first local detection - first suspicion
+//   isolate      first isolation - first local detection
+// which telescope to the forensic detection latency per round.
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -32,6 +43,7 @@
 #include "attack/modes.h"
 #include "bench_common.h"
 #include "defense/defense.h"
+#include "obs/span.h"
 #include "scenario/sweep.h"
 #include "util/config.h"
 
@@ -88,6 +100,14 @@ struct RocRow {
   double false_isolations = 0.0;
   lw::defense::CostSnapshot cost;  // replica-summed
   bool any_failed = false;
+  /// Raw span samples pooled across replicas (exactly re-summarizable).
+  std::vector<double> observe;
+  std::vector<double> corroborate;
+  std::vector<double> isolate;
+  std::vector<double> latency;
+  /// Forensic latency population for the telescoping cross-check.
+  std::uint64_t forensic_latency_samples = 0;
+  double forensic_latency_sum = 0.0;
 
   double precision() const {
     const std::uint64_t total = true_positives + false_positives;
@@ -115,12 +135,31 @@ RocRow reduce(const std::string& mode, const Cell& cell,
                             static_cast<double>(r.malicious_count)
                       : 1.0;
     row.cost.accumulate(r.defense_cost);
+    const auto& spans = r.spans;
+    row.observe.insert(row.observe.end(), spans.observe.samples.begin(),
+                       spans.observe.samples.end());
+    row.corroborate.insert(row.corroborate.end(),
+                           spans.corroborate.samples.begin(),
+                           spans.corroborate.samples.end());
+    row.isolate.insert(row.isolate.end(), spans.isolate.samples.begin(),
+                       spans.isolate.samples.end());
+    row.latency.insert(row.latency.end(), spans.detection_latencies.begin(),
+                       spans.detection_latencies.end());
+    row.forensic_latency_samples += r.forensics.latency_samples;
+    row.forensic_latency_sum += r.forensics.mean_detection_latency *
+                                static_cast<double>(r.forensics.latency_samples);
   }
   const auto n = static_cast<double>(point.replicas.size());
   row.recall = recall_sum / n;
   row.wormhole_routes = point.aggregate.wormhole_routes;
   row.false_isolations = point.aggregate.false_isolations;
   return row;
+}
+
+double sum_of(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  return total;
 }
 
 int check_rows(const std::vector<RocRow>& rows) {
@@ -132,6 +171,25 @@ int check_rows(const std::vector<RocRow>& rows) {
     ++failures;
   };
   for (const RocRow& row : rows) {
+    // Span-phase bookkeeping: the three phases are recorded together, the
+    // span latency population must be exactly the forensic one, and when
+    // every latency round has a complete phase timeline the decomposition
+    // telescopes: observe + corroborate + isolate == detection latency.
+    if (row.observe.size() != row.corroborate.size() ||
+        row.observe.size() != row.isolate.size()) {
+      fail(row, "span phase sample counts diverge");
+    }
+    if (row.latency.size() != row.forensic_latency_samples) {
+      fail(row, "span detection-latency population != forensic population");
+    }
+    if (std::abs(sum_of(row.latency) - row.forensic_latency_sum) > 1e-6) {
+      fail(row, "span detection-latency sum != forensic latency sum");
+    }
+    if (row.observe.size() == row.latency.size() &&
+        std::abs(sum_of(row.observe) + sum_of(row.corroborate) +
+                 sum_of(row.isolate) - sum_of(row.latency)) > 1e-6) {
+      fail(row, "phase decomposition does not telescope to the latency");
+    }
     if (row.any_failed) fail(row, "replica failed to complete");
     if (row.precision() < 0.0 || row.precision() > 1.0 ||
         row.recall < 0.0 || row.recall > 1.0) {
@@ -188,8 +246,9 @@ int main(int argc, char** argv) {
   spec.base.duration = duration;
   spec.base.malicious_count = 2;
   // Precision needs the labeled incident stream even when no trace file
-  // was requested.
+  // was requested; the latency decomposition needs the span folding.
   spec.base.obs.forensics = true;
+  spec.base.obs.spans = true;
   for (const auto& m : modes) {
     for (const Cell& cell : cells) {
       const auto mode = m.mode;
@@ -248,6 +307,23 @@ int main(int argc, char** argv) {
                  static_cast<double>(row.cost.control_messages))
           .field("control_bytes", static_cast<double>(row.cost.control_bytes))
           .field("storage_bytes", static_cast<double>(row.cost.storage_bytes));
+      const auto latency = lw::obs::summarize_samples(row.latency);
+      const auto observe = lw::obs::summarize_samples(row.observe);
+      const auto corroborate = lw::obs::summarize_samples(row.corroborate);
+      const auto isolate = lw::obs::summarize_samples(row.isolate);
+      out.field("detection_rounds", static_cast<double>(latency.count))
+          .field("latency_mean", latency.mean)
+          .field("latency_p50", latency.p50)
+          .field("latency_p95", latency.p95)
+          .field("observe_mean", observe.mean)
+          .field("observe_p50", observe.p50)
+          .field("observe_p95", observe.p95)
+          .field("corroborate_mean", corroborate.mean)
+          .field("corroborate_p50", corroborate.p50)
+          .field("corroborate_p95", corroborate.p95)
+          .field("isolate_mean", isolate.mean)
+          .field("isolate_p50", isolate.p50)
+          .field("isolate_p95", isolate.p95);
       out.end_row();
     }
     std::puts(out.str().c_str());
@@ -276,6 +352,31 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(row.cost.control_bytes),
                 static_cast<unsigned long long>(row.cost.storage_bytes));
   }
+  std::puts("\n== Detection latency decomposition (sim s, pooled over "
+            "replicas) ==");
+  std::printf("%-14s %-9s %-26s %-7s %-8s %-8s %-24s %-24s %s\n", "mode",
+              "defense", "threshold", "rounds", "lat_p50", "lat_p95",
+              "observe(mean/p50/p95)", "corrob(mean/p50/p95)",
+              "isolate(mean/p50/p95)");
+  for (const RocRow& row : rows) {
+    if (row.latency.empty()) continue;
+    const auto latency = lw::obs::summarize_samples(row.latency);
+    const auto observe = lw::obs::summarize_samples(row.observe);
+    const auto corroborate = lw::obs::summarize_samples(row.corroborate);
+    const auto isolate = lw::obs::summarize_samples(row.isolate);
+    char threshold[32];
+    std::snprintf(threshold, sizeof(threshold), "%s=%g",
+                  row.cell->param.c_str(), row.cell->value);
+    std::printf("%-14s %-9s %-26s %-7llu %-8.3f %-8.3f "
+                "%6.3f/%6.3f/%6.3f   %6.3f/%6.3f/%6.3f   "
+                "%6.3f/%6.3f/%6.3f\n",
+                row.mode.c_str(), row.cell->defense.c_str(), threshold,
+                static_cast<unsigned long long>(latency.count), latency.p50,
+                latency.p95, observe.mean, observe.p50, observe.p95,
+                corroborate.mean, corroborate.p50, corroborate.p95,
+                isolate.mean, isolate.p50, isolate.p95);
+  }
+
   std::puts(
       "\nexpected shape: calibrated LITEWORP (C_t=24) sits at the (1, 1)\n"
       "corner of the ROC plane for both tunnel modes; loosening C_t to 12\n"

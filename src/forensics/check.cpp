@@ -1,5 +1,6 @@
 #include "forensics/check.h"
 
+#include <cmath>
 #include <map>
 #include <set>
 #include <utility>
@@ -7,10 +8,23 @@
 namespace lw::forensics {
 namespace {
 
+/// One open span (invariant 8 bookkeeping).
+struct OpenSpanState {
+  std::string kind;
+  Time begin = 0.0;
+  std::uint64_t parent = 0;
+  std::size_t open_children = 0;
+  std::size_t begin_line = 0;
+};
+
 /// Per-run-segment linter state; reset at every run header.
 struct SegmentState {
   Time last_t = 0.0;
   bool any_event = false;
+  /// sid -> open span (invariant 8).
+  std::map<std::uint64_t, OpenSpanState> open_spans;
+  /// Every sid seen in a span.begin this segment (uniqueness).
+  std::set<std::uint64_t> span_sids;
   /// Lineages that appeared in a route.forward.
   std::set<LineageId> forwarded;
   /// accused -> distinct guards that alerted about it.
@@ -25,6 +39,85 @@ struct SegmentState {
   std::map<NodeId, std::set<NodeId>> framers;
 };
 
+/// Invariant 8: span begin/end balance, sid uniqueness, and enclosure.
+void check_span(const TraceRecord& record, SegmentState& state,
+                std::vector<CheckIssue>& issues) {
+  if (!record.span_kind_known) {
+    issues.push_back(
+        {record.line, "unknown span kind '" + record.span_kind + "'"});
+  }
+  if (record.name == "begin") {
+    if (!state.span_sids.insert(record.sid).second) {
+      issues.push_back(
+          {record.line, "duplicate span sid " + std::to_string(record.sid)});
+      return;
+    }
+    OpenSpanState open;
+    open.kind = record.span_kind;
+    open.begin = record.t;
+    open.parent = record.parent;
+    open.begin_line = record.line;
+    if (record.parent != 0) {
+      auto parent = state.open_spans.find(record.parent);
+      if (parent == state.open_spans.end()) {
+        issues.push_back({record.line,
+                          "span sid " + std::to_string(record.sid) +
+                              " declares parent " +
+                              std::to_string(record.parent) +
+                              " that is not open"});
+        open.parent = 0;
+      } else {
+        ++parent->second.open_children;
+      }
+    }
+    state.open_spans.emplace(record.sid, std::move(open));
+    return;
+  }
+  auto it = state.open_spans.find(record.sid);
+  if (it == state.open_spans.end()) {
+    issues.push_back({record.line, "span.end for sid " +
+                                       std::to_string(record.sid) +
+                                       " without an open span.begin"});
+    return;
+  }
+  const OpenSpanState open = it->second;
+  if (record.t < open.begin) {
+    issues.push_back({record.line, "span sid " + std::to_string(record.sid) +
+                                       " ends before it begins"});
+  }
+  if (record.has_dur &&
+      std::abs(record.dur - (record.t - open.begin)) > 1e-6) {
+    issues.push_back({record.line,
+                      "span sid " + std::to_string(record.sid) + " dur " +
+                          std::to_string(record.dur) +
+                          " does not match its begin/end interval"});
+  }
+  if (open.open_children > 0) {
+    issues.push_back({record.line,
+                      "span sid " + std::to_string(record.sid) + " ends with " +
+                          std::to_string(open.open_children) +
+                          " child span(s) still open (not enclosed)"});
+  }
+  if (open.parent != 0) {
+    auto parent = state.open_spans.find(open.parent);
+    if (parent != state.open_spans.end() &&
+        parent->second.open_children > 0) {
+      --parent->second.open_children;
+    }
+  }
+  state.open_spans.erase(record.sid);
+}
+
+/// Segment ended: every span still open lacks its span.end.
+void report_open_spans(const SegmentState& state,
+                       std::vector<CheckIssue>& issues) {
+  for (const auto& [sid, open] : state.open_spans) {
+    issues.push_back({open.begin_line, "span sid " + std::to_string(sid) +
+                                           " (" + open.kind +
+                                           ") has no matching span.end"});
+  }
+}
+
 }  // namespace
 
 std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
@@ -34,7 +127,22 @@ std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
 
   for (const TraceRecord& record : records) {
     if (record.is_run_header) {
+      report_open_spans(state, issues);
       state = SegmentState{};
+      continue;
+    }
+    if (record.is_span) {
+      // Invariant 1 applies to span lines too; the SpanBuilder emits them
+      // inline with the events that open/close them.
+      if (state.any_event && record.t < state.last_t) {
+        issues.push_back(
+            {record.line, "timestamp goes backwards (t=" +
+                              std::to_string(record.t) + " after t=" +
+                              std::to_string(state.last_t) + ")"});
+      }
+      state.last_t = record.t;
+      state.any_event = true;
+      check_span(record, state, issues);
       continue;
     }
     if (!record.kind_known) {
@@ -154,6 +262,7 @@ std::vector<CheckIssue> check_trace(const std::vector<TraceRecord>& records,
         break;
     }
   }
+  report_open_spans(state, issues);
   return issues;
 }
 

@@ -19,6 +19,10 @@
 //   7. An honest node framed by compromised guards (flt.frame ground
 //      truth) is never isolated while fewer than gamma guards are
 //      compromised: the paper's gamma defense, machine-checked.
+//   8. Span balance: every span.begin has exactly one span.end with
+//      end >= begin and a duration matching the interval; sids are unique
+//      within a segment; a declared parent is open for the child's whole
+//      lifetime (nested spans properly enclosed).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,222 @@
+#include "forensics/perfetto.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace lw::forensics {
+namespace {
+
+/// Fixed per-layer track ids so exports are comparable across traces.
+int layer_tid(const std::string& layer) {
+  static constexpr std::pair<const char*, int> kTracks[] = {
+      {"phy", 1}, {"mac", 2}, {"nbr", 3}, {"route", 4},
+      {"mon", 5}, {"atk", 6}, {"flt", 7}, {"span", 8},
+  };
+  for (const auto& [name, tid] : kTracks) {
+    if (layer == name) return tid;
+  }
+  return 9;  // unknown layers share one catch-all track
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Comma-separates traceEvents entries; one entry per line for greppable
+/// output (the schema allows any whitespace).
+class EventArray {
+ public:
+  explicit EventArray(std::ostream& out) : out_(out) {
+    out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  }
+  void emit(const std::string& body) {
+    out_ << (first_ ? "\n" : ",\n") << body;
+    first_ = false;
+  }
+  void close() { out_ << "\n]}\n"; }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+void append_f(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof(buffer) - 1));
+}
+
+/// Last sighting of a packet lineage (flow-arrow source anchor).
+struct Hop {
+  NodeId node = kInvalidNode;
+  int tid = 0;
+  double ts_us = 0.0;
+  int count = 0;
+};
+
+}  // namespace
+
+void export_perfetto(const std::vector<TraceRecord>& records,
+                     std::ostream& out, const PerfettoOptions& options) {
+  EventArray events(out);
+  std::set<NodeId> named_pids;
+  std::set<std::pair<NodeId, int>> named_tids;
+  int run_index = 0;
+  double offset_us = 0.0;  // pushes each run segment past the previous one
+  double max_ts_us = 0.0;  // high-water of emitted slice end times
+  std::map<LineageId, Hop> last_hop;
+
+  auto ensure_track = [&](NodeId node, int tid, const char* label) {
+    std::string meta;
+    if (named_pids.insert(node).second) {
+      append_f(&meta,
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+               "\"args\":{\"name\":\"node %u\"}}",
+               node, node);
+      events.emit(meta);
+      meta.clear();
+    }
+    if (named_tids.insert({node, tid}).second) {
+      append_f(&meta,
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%d,"
+               "\"args\":{\"name\":\"%s\"}}",
+               node, tid, label);
+      events.emit(meta);
+    }
+  };
+
+  for (const TraceRecord& record : records) {
+    if (record.is_run_header) {
+      ++run_index;
+      offset_us = max_ts_us;
+      last_hop.clear();
+      continue;
+    }
+    const double ts = offset_us + record.t * 1e6;
+    std::string body;
+    bool first_arg = true;
+    auto arg = [&](const std::string& kv) {
+      if (!first_arg) body += ',';
+      first_arg = false;
+      body += kv;
+    };
+
+    if (record.is_span) {
+      ensure_track(record.node, 8, "span");
+      // Nestable async b/e keyed by sid: a node's concurrent spans overlap
+      // without the LIFO constraint synchronous B/E stacks impose.
+      append_f(&body,
+               "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"%s\","
+               "\"id\":\"r%d.s%llu\",\"ts\":%.3f,\"pid\":%u,\"tid\":8,"
+               "\"args\":{",
+               json_escape(record.span_kind).c_str(),
+               record.name == "begin" ? "b" : "e", run_index,
+               static_cast<unsigned long long>(record.sid), ts, record.node);
+      if (record.name == "begin") {
+        arg("\"sid\":" + std::to_string(record.sid));
+        if (record.parent != 0) {
+          arg("\"parent\":" + std::to_string(record.parent));
+        }
+        if (record.lineage != 0) {
+          arg("\"lin\":" + std::to_string(record.lineage));
+        }
+        if (record.peer != kInvalidNode) {
+          arg("\"peer\":" + std::to_string(record.peer));
+        }
+      } else {
+        arg("\"outcome\":\"" + json_escape(record.outcome) + "\"");
+        if (record.retries != 0) {
+          arg("\"retries\":" + std::to_string(record.retries));
+        }
+        if (record.has_phases) {
+          std::string phases;
+          append_f(&phases,
+                   "\"observe\":%.9f,\"corroborate\":%.9f,\"isolate\":%.9f",
+                   record.observe, record.corroborate, record.isolate);
+          arg(phases);
+        }
+      }
+      body += "}}";
+      events.emit(body);
+      max_ts_us = std::max(max_ts_us, ts);
+      continue;
+    }
+
+    const int tid = layer_tid(record.layer);
+    ensure_track(record.node, tid, record.layer.c_str());
+    append_f(&body,
+             "{\"name\":\"%s.%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+             "\"pid\":%u,\"tid\":%d,\"args\":{",
+             json_escape(record.layer).c_str(),
+             json_escape(record.name).c_str(), ts, options.point_slice_us,
+             record.node, tid);
+    if (record.peer != kInvalidNode) {
+      arg("\"peer\":" + std::to_string(record.peer));
+    }
+    if (record.has_packet) {
+      arg("\"pkt\":\"" + json_escape(record.pkt_type) + "\"");
+      arg("\"origin\":" + std::to_string(record.origin));
+      arg("\"seq\":" + std::to_string(record.seq));
+      arg("\"lin\":" + std::to_string(record.lineage));
+    }
+    if (!record.suspicion.empty()) {
+      arg("\"sus\":\"" + json_escape(record.suspicion) + "\"");
+    }
+    if (!record.defense.empty()) {
+      arg("\"def\":\"" + json_escape(record.defense) + "\"");
+    }
+    if (record.has_value) {
+      std::string value;
+      append_f(&value, "\"value\":%.9g", record.value);
+      arg(value);
+    }
+    body += "}}";
+    events.emit(body);
+    max_ts_us = std::max(max_ts_us, ts + options.point_slice_us);
+
+    // Flow arrows: consecutive same-lineage packet events on different
+    // nodes are one frame hop (forward, overhear, or wormhole tunnel).
+    if (record.has_packet && record.lineage != 0) {
+      Hop& hop = last_hop[record.lineage];
+      if (hop.node != kInvalidNode && hop.node != record.node) {
+        ++hop.count;
+        std::string flow;
+        append_f(&flow,
+                 "{\"name\":\"lin %llu\",\"cat\":\"flow\",\"ph\":\"s\","
+                 "\"id\":\"r%d.l%llu.h%d\",\"ts\":%.3f,\"pid\":%u,"
+                 "\"tid\":%d}",
+                 static_cast<unsigned long long>(record.lineage), run_index,
+                 static_cast<unsigned long long>(record.lineage), hop.count,
+                 hop.ts_us, hop.node, hop.tid);
+        events.emit(flow);
+        flow.clear();
+        append_f(&flow,
+                 "{\"name\":\"lin %llu\",\"cat\":\"flow\",\"ph\":\"f\","
+                 "\"bp\":\"e\",\"id\":\"r%d.l%llu.h%d\",\"ts\":%.3f,"
+                 "\"pid\":%u,\"tid\":%d}",
+                 static_cast<unsigned long long>(record.lineage), run_index,
+                 static_cast<unsigned long long>(record.lineage), hop.count,
+                 ts, record.node, tid);
+        events.emit(flow);
+      }
+      const int count = hop.count;
+      hop = Hop{record.node, tid, ts, count};
+    }
+  }
+  events.close();
+}
+
+}  // namespace lw::forensics

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/span.h"
+
 namespace lw::forensics {
 namespace {
 
@@ -167,6 +169,26 @@ bool parse_trace_line(const std::string& line, std::size_t line_no,
     } else if (key == "value") {
       out->value = scanner.number_value();
       out->has_value = true;
+    } else if (key == "span") {
+      out->span_kind = scanner.string_value();
+    } else if (key == "sid") {
+      out->sid = static_cast<std::uint64_t>(scanner.number_value());
+    } else if (key == "parent") {
+      out->parent = static_cast<std::uint64_t>(scanner.number_value());
+    } else if (key == "dur") {
+      out->dur = scanner.number_value();
+      out->has_dur = true;
+    } else if (key == "outcome") {
+      out->outcome = scanner.string_value();
+    } else if (key == "retries") {
+      out->retries = static_cast<std::uint64_t>(scanner.number_value());
+    } else if (key == "observe") {
+      out->observe = scanner.number_value();
+      out->has_phases = true;
+    } else if (key == "corroborate") {
+      out->corroborate = scanner.number_value();
+    } else if (key == "isolate") {
+      out->isolate = scanner.number_value();
     } else {
       scanner.fail("unknown key '" + key + "'");
     }
@@ -174,6 +196,22 @@ bool parse_trace_line(const std::string& line, std::size_t line_no,
   if (!scanner.at_end()) scanner.fail("trailing characters");
   if (!saw_t || out->layer.empty() || out->name.empty()) {
     throw TraceFormatError(line_no, "event line missing t/layer/event");
+  }
+  if (out->layer == "span") {
+    out->is_span = true;
+    if (out->name != "begin" && out->name != "end") {
+      throw TraceFormatError(line_no,
+                             "span line with event '" + out->name +
+                                 "' (expected begin or end)");
+    }
+    if (out->span_kind.empty() || out->sid == 0) {
+      throw TraceFormatError(line_no, "span line missing span/sid");
+    }
+    out->span_kind_known = obs::parse_span_kind(out->span_kind, nullptr);
+    return true;
+  }
+  if (!out->span_kind.empty()) {
+    throw TraceFormatError(line_no, "span key on a non-span line");
   }
   out->kind_known = obs::parse_event_kind(out->layer, out->name, &out->kind);
   return true;
@@ -217,6 +255,22 @@ std::string describe(const TraceRecord& record) {
                         record.t, record.layer.c_str(), record.name.c_str(),
                         record.node);
   std::string out(buffer, static_cast<std::size_t>(n));
+  if (record.is_span) {
+    n = std::snprintf(buffer, sizeof(buffer), "  %s sid=%llu",
+                      record.span_kind.c_str(),
+                      static_cast<unsigned long long>(record.sid));
+    out.append(buffer, static_cast<std::size_t>(n));
+    if (record.parent != 0) {
+      n = std::snprintf(buffer, sizeof(buffer), " parent=%llu",
+                        static_cast<unsigned long long>(record.parent));
+      out.append(buffer, static_cast<std::size_t>(n));
+    }
+    if (record.has_dur) {
+      n = std::snprintf(buffer, sizeof(buffer), " dur=%.6f outcome=%s",
+                        record.dur, record.outcome.c_str());
+      out.append(buffer, static_cast<std::size_t>(n));
+    }
+  }
   if (record.peer != kInvalidNode) {
     n = std::snprintf(buffer, sizeof(buffer), " -> %u", record.peer);
     out.append(buffer, static_cast<std::size_t>(n));

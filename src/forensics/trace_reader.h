@@ -70,6 +70,28 @@ struct TraceRecord {
   /// the key for the default so legacy traces parse unchanged).
   std::string defense;
 
+  // ---- Span fields (layer == "span": SpanBuilder begin/end lines) ----
+  /// True for span.begin / span.end lines; `name` is "begin" or "end",
+  /// `kind_known` stays false (spans are not point events).
+  bool is_span = false;
+  /// Span kind name ("route_session", ...); span_kind_known is false when
+  /// the name is not in the SpanKind vocabulary (check reports it).
+  std::string span_kind;
+  bool span_kind_known = false;
+  std::uint64_t sid = 0;
+  /// Parent sid; 0 = root span.
+  std::uint64_t parent = 0;
+  /// span.end only: duration and outcome.
+  double dur = 0.0;
+  bool has_dur = false;
+  std::string outcome;
+  std::uint64_t retries = 0;
+  /// Alert-round latency decomposition (span.end, complete rounds only).
+  bool has_phases = false;
+  double observe = 0.0;
+  double corroborate = 0.0;
+  double isolate = 0.0;
+
   /// The event as the in-process sinks would have seen it (packet pointer
   /// is null — offline consumers use the flattened fields above).
   obs::Event to_event() const;

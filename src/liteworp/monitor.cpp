@@ -139,7 +139,7 @@ void LocalMonitor::maybe_add_drop_watch(const pkt::Packet& packet) {
   if (watch_.has_transmit(flow, to, env_.now())) return;
   const Time deadline = env_.now() + params_.watch_timeout;
   sim::EventHandle expiry = env_.simulator().schedule_cancellable(
-      params_.watch_timeout, [this, flow, from, to] {
+      params_.watch_timeout, [this, flow, from, to, lin = packet.lineage] {
         if (watch_.take_expired_drop_watch(flow, from, to)) {
           LW_DEBUG << "guard " << env_.id() << ": REP drop by " << to
                    << " (handed over by " << from << ")";
@@ -147,7 +147,8 @@ void LocalMonitor::maybe_add_drop_watch(const pkt::Packet& packet) {
             r->emit({.t = env_.now(),
                      .kind = obs::EventKind::kMonWatchExpire,
                      .node = env_.id(),
-                     .peer = to});
+                     .peer = to,
+                     .lineage_hint = lin});
           }
           observe(to, /*suspicious=*/true, Suspicion::kDrop);
         }

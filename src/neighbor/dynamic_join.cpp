@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace lw::nbr {
@@ -28,6 +29,12 @@ std::string DynamicJoinAgent::response_message(NodeId joiner,
 
 void DynamicJoinAgent::start_join() {
   joining_ = true;
+  join_completed_ = false;
+  if (auto* r = env_.obs(); r && r->wants(obs::Layer::kNeighbor)) {
+    r->emit({.t = env_.now(),
+             .kind = obs::EventKind::kNbrJoinStart,
+             .node = env_.id()});
+  }
   for (int repeat = 0; repeat < params_.hello_repeats; ++repeat) {
     env_.simulator().schedule(repeat * params_.hello_gap,
                               [this, epoch = epoch_] {
@@ -54,6 +61,7 @@ void DynamicJoinAgent::forget(NodeId peer) {
 void DynamicJoinAgent::reset() {
   ++epoch_;
   joining_ = false;
+  join_completed_ = false;
   pending_nonces_.clear();
   admitted_.clear();
 }
@@ -118,6 +126,15 @@ void DynamicJoinAgent::handle_challenge(const pkt::Packet& packet) {
   // The authenticated challenge proves the challenger holds the pairwise
   // key; links are bidirectional, so it is our neighbor.
   table_.add_neighbor(challenger);
+  if (!join_completed_) {
+    join_completed_ = true;
+    if (auto* r = env_.obs(); r && r->wants(obs::Layer::kNeighbor)) {
+      r->emit({.t = env_.now(),
+               .kind = obs::EventKind::kNbrJoinComplete,
+               .node = env_.id(),
+               .peer = challenger});
+    }
+  }
   if (on_neighbor_gained_) on_neighbor_gained_(challenger);
 
   pkt::Packet response =

@@ -99,6 +99,9 @@ class DynamicJoinAgent {
   util::PoolVector<crypto::AuthTag> sign_tags_;
   JoinParams params_;
   bool joining_ = false;
+  /// True once this join emitted its nbr.join_complete event (the span
+  /// closes at the FIRST authenticated neighbor; later ones are routine).
+  bool join_completed_ = false;
   SeqNo seq_ = 0;
   /// Bumped by reset(); scheduled hellos/shares from before a crash no-op.
   int epoch_ = 0;

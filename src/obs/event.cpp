@@ -102,6 +102,10 @@ const char* to_string(EventKind kind) {
       return "admit";
     case EventKind::kNbrReject:
       return "reject";
+    case EventKind::kNbrJoinStart:
+      return "join_start";
+    case EventKind::kNbrJoinComplete:
+      return "join_complete";
     case EventKind::kRouteDiscovery:
       return "discovery";
     case EventKind::kRouteEstablished:
@@ -168,6 +172,8 @@ Layer layer_of(EventKind kind) {
     case EventKind::kNbrList:
     case EventKind::kNbrAdmit:
     case EventKind::kNbrReject:
+    case EventKind::kNbrJoinStart:
+    case EventKind::kNbrJoinComplete:
       return Layer::kNeighbor;
     case EventKind::kRouteDiscovery:
     case EventKind::kRouteEstablished:

@@ -82,6 +82,8 @@ enum class EventKind : std::uint8_t {
   kNbrList,          // R_A list broadcast          value: list size
   kNbrAdmit,         // frame passed admission      peer: claimed tx
   kNbrReject,        // frame failed admission      peer: claimed tx
+  kNbrJoinStart,     // dynamic-join handshake started (joiner side)
+  kNbrJoinComplete,  // first neighbor authenticated  peer: challenger
 
   // ---- Routing ----
   kRouteDiscovery,   // REQ flood started           peer: destination
@@ -153,6 +155,11 @@ struct Event {
   std::uint8_t def = 0;
   /// The packet involved, when one exists. Valid only during dispatch.
   const pkt::Packet* packet = nullptr;
+  /// Causal lineage for packet-less events (route.discovery carries the
+  /// REQ's lineage, mon.watch_expire the arming REP's). Never serialized
+  /// by the TraceWriter — the span builder uses it to stitch parent/child
+  /// causality without changing a single trace byte. 0 = no hint.
+  LineageId lineage_hint = 0;
 };
 
 /// Event::detail values for kMonSuspicion.

@@ -36,9 +36,15 @@ struct Options {
   /// latency, and a true/false-positive label cross-checked against
   /// attack-layer ground truth.
   bool forensics = false;
+  /// Fold nbr/route/mon/atk events into typed protocol-transaction spans
+  /// (RunResult::spans): route-discovery sessions, alibi windows, alert
+  /// rounds with the observe/corroborate/isolate latency decomposition,
+  /// tunnel sessions, join handshakes. When trace is also on, span
+  /// begin/end lines are appended to the JSONL trace.
+  bool spans = false;
 
   bool any() const {
-    return trace || counters || profile || series || forensics;
+    return trace || counters || profile || series || forensics || spans;
   }
 };
 

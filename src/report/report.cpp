@@ -1,7 +1,9 @@
 #include "report/report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -48,6 +50,19 @@ std::vector<CaseMetrics> parse_bench_rows(const util::JsonValue& root) {
     metrics.name = row.string_or("case", "");
     if (metrics.name.empty()) {
       metrics.name = row.string_or("label", "");
+    }
+    if (metrics.name.empty()) {
+      // ROC-style rows identify themselves by coordinates, not a label.
+      const std::string mode = row.string_or("mode", "");
+      const std::string defense = row.string_or("defense", "");
+      if (!mode.empty() && !defense.empty()) {
+        metrics.name = mode + " / " + defense;
+        const std::string param = row.string_or("param", "");
+        if (!param.empty() && param != "-") {
+          metrics.name += " " + param + "=" +
+                          format_number(row.number_or("value", 0.0));
+        }
+      }
     }
     if (metrics.name.empty()) {
       metrics.name = "row" + std::to_string(cases.size());
@@ -115,6 +130,75 @@ std::vector<CaseMetrics> parse_sweep(const util::JsonValue& root) {
           metrics.metrics.push_back(std::move(entry));
         }
       }
+      // Span statistics roll up across replicas: counts sum, means pool
+      // count-weighted (raw samples are not in the JSON, so percentiles
+      // stay per-replica and are not aggregated here).
+      struct Pool {
+        double count = 0.0;
+        double sum = 0.0;
+      };
+      std::map<std::string, Pool> kind_opened;
+      std::map<std::string, Pool> kind_duration;
+      std::map<std::string, Pool> phase_pool;
+      Pool latency_pool;
+      bool any_spans = false;
+      for (const util::JsonValue& replica : replicas->items()) {
+        const util::JsonValue* spans = replica.find("spans");
+        if (spans == nullptr) continue;
+        any_spans = true;
+        if (const util::JsonValue* kinds = spans->find("kinds")) {
+          for (const auto& [kind, stats] : kinds->members()) {
+            kind_opened[kind].count += stats.number_or("opened", 0.0);
+            kind_opened[kind].sum += stats.number_or("closed", 0.0);
+            if (const util::JsonValue* dur = stats.find("duration")) {
+              const double n = dur->number_or("count", 0.0);
+              kind_duration[kind].count += n;
+              kind_duration[kind].sum += n * dur->number_or("mean", 0.0);
+            }
+          }
+        }
+        if (const util::JsonValue* phases = spans->find("phases")) {
+          for (const auto& [phase, stats] : phases->members()) {
+            phase_pool[phase].sum += stats.number_or("sum", 0.0);
+            if (const util::JsonValue* summary = stats.find("summary")) {
+              phase_pool[phase].count += summary->number_or("count", 0.0);
+            }
+          }
+        }
+        if (const util::JsonValue* latency = spans->find("detection_latency")) {
+          const double n = latency->number_or("count", 0.0);
+          latency_pool.count += n;
+          latency_pool.sum += n * latency->number_or("mean", 0.0);
+        }
+      }
+      if (any_spans) {
+        for (const auto& [kind, pool] : kind_opened) {
+          metrics.metrics.emplace_back("spans." + kind + ".opened",
+                                       pool.count);
+          metrics.metrics.emplace_back("spans." + kind + ".closed", pool.sum);
+        }
+        for (const auto& [kind, pool] : kind_duration) {
+          if (pool.count > 0.0) {
+            metrics.metrics.emplace_back("spans." + kind + ".duration_mean",
+                                         pool.sum / pool.count);
+          }
+        }
+        for (const auto& [phase, pool] : phase_pool) {
+          metrics.metrics.emplace_back("spans." + phase + ".rounds",
+                                       pool.count);
+          if (pool.count > 0.0) {
+            metrics.metrics.emplace_back("spans." + phase + ".mean",
+                                         pool.sum / pool.count);
+          }
+        }
+        metrics.metrics.emplace_back("spans.detection_rounds",
+                                     latency_pool.count);
+        if (latency_pool.count > 0.0) {
+          metrics.metrics.emplace_back(
+              "spans.detection_latency_mean",
+              latency_pool.sum / latency_pool.count);
+        }
+      }
     }
     cases.push_back(std::move(metrics));
   }
@@ -174,6 +258,37 @@ std::string render_markdown(const std::vector<CaseMetrics>& cases,
                             const std::string& title) {
   std::ostringstream out;
   out << "# " << title << "\n";
+  // Runs carrying the span-derived latency decomposition (bench_defense_roc
+  // --json) get a cross-case summary table up front: detection latency and
+  // its observe/corroborate/isolate phases, p50/p95, one row per cell.
+  bool any_latency = false;
+  for (const CaseMetrics& c : cases) {
+    if (c.has("latency_p50") && c.get("detection_rounds", 0.0) > 0.0) {
+      any_latency = true;
+      break;
+    }
+  }
+  if (any_latency) {
+    out << "\n## Detection latency (sim s, p50/p95 per cell)\n\n"
+        << "| case | rounds | latency p50 | latency p95 | observe p50/p95 | "
+           "corroborate p50/p95 | isolate p50/p95 |\n"
+        << "|---|---:|---:|---:|---:|---:|---:|\n";
+    for (const CaseMetrics& c : cases) {
+      if (!c.has("latency_p50") || c.get("detection_rounds", 0.0) <= 0.0) {
+        continue;
+      }
+      out << "| " << c.name << " | "
+          << format_number(c.get("detection_rounds", 0.0)) << " | "
+          << format_number(c.get("latency_p50", 0.0)) << " | "
+          << format_number(c.get("latency_p95", 0.0)) << " | "
+          << format_number(c.get("observe_p50", 0.0)) << " / "
+          << format_number(c.get("observe_p95", 0.0)) << " | "
+          << format_number(c.get("corroborate_p50", 0.0)) << " / "
+          << format_number(c.get("corroborate_p95", 0.0)) << " | "
+          << format_number(c.get("isolate_p50", 0.0)) << " / "
+          << format_number(c.get("isolate_p95", 0.0)) << " |\n";
+    }
+  }
   for (const CaseMetrics& c : cases) {
     out << "\n## " << c.name << "\n\n";
     out << "| metric | value |\n|---|---:|\n";

@@ -91,7 +91,8 @@ void OnDemandRouting::start_discovery(NodeId destination) {
     r->emit({.t = env_.now(),
              .kind = obs::EventKind::kRouteDiscovery,
              .node = env_.id(),
-             .peer = destination});
+             .peer = destination,
+             .lineage_hint = req.lineage});
   }
   env_.send(std::move(req), {.flood_jitter = false});
   schedule_discovery_retry(destination);

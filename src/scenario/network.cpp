@@ -47,6 +47,19 @@ Network::Network(ExperimentConfig config, MetricsFactory metrics)
     trace_writer_ = std::make_unique<obs::TraceWriter>(trace_buffer_);
     recorder_->add_sink(trace_writer_.get(), config_.obs.trace_layers);
   }
+  if (config_.obs.spans) {
+    // Registered AFTER the trace writer so each span.begin/span.end line
+    // lands immediately after the event that opened/closed it. Span lines
+    // are written only when a trace is being recorded; otherwise the
+    // builder collects statistics alone.
+    span_builder_ = std::make_unique<obs::SpanBuilder>(
+        config_.obs.trace ? &trace_buffer_ : nullptr);
+    recorder_->add_sink(span_builder_.get(),
+                        obs::layer_bit(obs::Layer::kNeighbor) |
+                            obs::layer_bit(obs::Layer::kRouting) |
+                            obs::layer_bit(obs::Layer::kMonitor) |
+                            obs::layer_bit(obs::Layer::kAttack));
+  }
   if (config_.obs.counters) {
     // Seeded so reservoir histograms are reproducible per run (and hence
     // identical across sweep thread counts).
@@ -385,6 +398,22 @@ obs::BucketSample Network::take_bucket_sample() {
     }
   }
   return sample;
+}
+
+std::string Network::trace_jsonl() const {
+  // Still-open spans must close (outcome "open") before the buffer is
+  // read; flush is idempotent and only appends trace bytes, never changes
+  // simulation state, so the const_cast stays honest about the run.
+  if (span_builder_) {
+    const_cast<Network*>(this)->span_builder_->flush(simulator_.now());
+  }
+  return trace_buffer_.str();
+}
+
+obs::SpanReport Network::spans() const {
+  if (!span_builder_) return {};
+  const_cast<Network*>(this)->span_builder_->flush(simulator_.now());
+  return span_builder_->report();
 }
 
 obs::SeriesReport Network::series() const {

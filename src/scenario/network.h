@@ -18,6 +18,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace_writer.h"
 #include "phy/medium.h"
@@ -73,8 +74,10 @@ class Network : public fault::FaultHost {
 
   /// JSONL trace accumulated so far (empty unless obs.trace). Buffered in
   /// memory so sweeps can write per-run traces in spec order regardless of
-  /// worker-thread interleaving.
-  std::string trace_jsonl() const { return trace_buffer_.str(); }
+  /// worker-thread interleaving. When spans are on, reading the trace
+  /// first flushes still-open spans (their span.end lines must land in
+  /// the buffer), so call after the run completes.
+  std::string trace_jsonl() const;
 
   /// Counter/histogram snapshot (empty unless obs.counters).
   obs::RegistrySnapshot registry_snapshot() const {
@@ -96,6 +99,11 @@ class Network : public fault::FaultHost {
     return incident_builder_ ? incident_builder_->build()
                              : std::vector<forensics::Incident>{};
   }
+
+  /// Protocol-transaction span statistics (enabled flag false unless
+  /// obs.spans). Flushes still-open spans at the current sim time on
+  /// first read, so call after the run completes.
+  obs::SpanReport spans() const;
 
   /// Aggregate forensics summary; enabled flag mirrors obs.forensics.
   forensics::ForensicsSummary forensics_summary() const {
@@ -148,6 +156,7 @@ class Network : public fault::FaultHost {
   pkt::PacketFactory factory_;
   std::ostringstream trace_buffer_;
   std::unique_ptr<obs::TraceWriter> trace_writer_;
+  std::unique_ptr<obs::SpanBuilder> span_builder_;
   std::unique_ptr<obs::RegistrySink> registry_;
   std::unique_ptr<forensics::IncidentBuilder> incident_builder_;
   std::unique_ptr<obs::RunProfiler> profiler_;

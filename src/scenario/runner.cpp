@@ -55,6 +55,7 @@ RunResult RunResult::from_metrics(const Network& network) {
   r.incidents = network.incidents();
   r.forensics = network.forensics_summary();
   r.series = network.series();
+  r.spans = network.spans();
   return r;
 }
 

@@ -91,6 +91,8 @@ struct RunResult {
   forensics::ForensicsSummary forensics;
   /// Sim-time telemetry series; enabled mirrors obs.series.
   obs::SeriesReport series;
+  /// Protocol-transaction spans; enabled mirrors obs.spans.
+  obs::SpanReport spans;
 
   double fraction_dropped() const {
     return data_originated == 0

@@ -396,6 +396,11 @@ void emit_replica(JsonOut& json, const RunResult& r, bool include_timing) {
     // sweep JSON share one byte-exact serialization.
     json.key("series").raw(obs::series_to_json(r.series, include_timing));
   }
+  if (r.spans.enabled) {
+    // Pre-rendered by the obs layer (same pattern as "series"); absent
+    // entirely when spans are off so existing output stays byte-identical.
+    json.key("spans").raw(obs::spans_to_json(r.spans));
+  }
   json.close('}');
 }
 

@@ -12,6 +12,11 @@
 //                                per-event-count deltas
 //   check <file> [--gamma=N]     lint the trace against the invariants in
 //                                forensics/check.h; exit 1 on violations
+//   export-perfetto <file> [--out=FILE]
+//                                convert to Chrome trace-event JSON for
+//                                ui.perfetto.dev / chrome://tracing (one
+//                                track per node x layer, spans as nestable
+//                                async slices, lineage flow arrows)
 //
 // Exit codes: 0 ok, 1 findings (check violations, diff mismatch, unknown
 // lineage), 2 usage or unreadable/unparseable input — the shared lw-*
@@ -21,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
@@ -30,6 +36,7 @@
 #include "cli_util.h"
 #include "forensics/check.h"
 #include "forensics/incident.h"
+#include "forensics/perfetto.h"
 #include "forensics/trace_reader.h"
 
 namespace {
@@ -52,6 +59,8 @@ void print_usage(std::FILE* out) {
       "  incidents <file> [--json]   labeled detection incidents\n"
       "  diff <file-a> <file-b>      compare two traces\n"
       "  check <file> [--gamma=N]    lint trace invariants\n"
+      "  export-perfetto <file> [--out=FILE]\n"
+      "                              Chrome trace-event JSON (Perfetto)\n"
       "  --version | --help\n");
 }
 
@@ -396,6 +405,24 @@ int cmd_check(const std::string& path, int gamma) {
   return 0;
 }
 
+// ---- export-perfetto ----
+
+int cmd_export_perfetto(const std::string& path, const std::string& out_path) {
+  const std::vector<TraceRecord> records = load(path);
+  if (out_path.empty() || out_path == "-") {
+    lw::forensics::export_perfetto(records, std::cout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "lw-trace: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  lw::forensics::export_perfetto(records, out);
+  std::fprintf(stderr, "lw-trace: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -409,12 +436,15 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   bool json = false;
   int gamma = 3;
+  std::string out_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg.rfind("--gamma=", 0) == 0) {
       gamma = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "lw-trace: unknown flag %s\n", arg.c_str());
       return 2;
@@ -437,6 +467,9 @@ int main(int argc, char** argv) {
   }
   if (command == "check" && positional.size() == 1) {
     return cmd_check(positional[0], gamma);
+  }
+  if (command == "export-perfetto" && positional.size() == 1) {
+    return cmd_export_perfetto(positional[0], out_path);
   }
   return usage();
 }
